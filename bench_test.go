@@ -1,0 +1,308 @@
+// Benchmarks regenerating each figure/table of the paper's evaluation
+// at reduced scale, plus microbenchmarks for the framework's hot paths.
+// Each BenchmarkFig* target corresponds to one entry of DESIGN.md's
+// per-experiment index; `go test -bench=. -benchmem` exercises all of
+// them.
+package repro
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/adult"
+	"repro/internal/core"
+	"repro/internal/distance"
+	"repro/internal/inference"
+	"repro/internal/kernel"
+	"repro/internal/prob"
+	"repro/internal/utility"
+)
+
+// benchEngine lazily builds a shared engine over a small Adult table.
+func benchEngine(b *testing.B, n int) *core.Engine {
+	b.Helper()
+	table := adult.Generate(n, 42)
+	e, err := core.New(table, adult.Hierarchies(), nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkFig1aAttack measures one probabilistic background-knowledge
+// attack pass (posterior inference + disclosure measurement for every
+// record) against an ℓ-diverse release — the inner loop of Figure 1(a).
+func BenchmarkFig1aAttack(b *testing.B) {
+	e := benchEngine(b, 1000)
+	p := core.Table5()[0]
+	res, err := e.AnonymizeModel(core.DistinctLDiversity, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bvec := kernel.UniformBandwidth(e.Table.Schema.D(), 0.3)
+	if _, err := e.Priors(bvec); err != nil { // warm the prior cache
+		b.Fatal(err)
+	}
+	breach := e.BreachTest(core.DistinctLDiversity, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Attack(res, bvec, p.T, breach); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1bAttack is the Figure 1(b) variant: the (B,t) release
+// attacked at its enforced bandwidth.
+func BenchmarkFig1bAttack(b *testing.B) {
+	e := benchEngine(b, 1000)
+	p := core.Table5()[0]
+	res, err := e.AnonymizeModel(core.BTPrivacy, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bvec := kernel.UniformBandwidth(e.Table.Schema.D(), 0.3)
+	breach := e.BreachTest(core.BTPrivacy, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Attack(res, bvec, p.T, breach); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2ExactVsOmega measures the Figure 2 comparison: exact
+// posterior inference and the Ω-estimate over a random 10-tuple group.
+func BenchmarkFig2ExactVsOmega(b *testing.B) {
+	e := benchEngine(b, 1000)
+	priors, err := e.UniformPriors(0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rows := rng.Perm(e.Table.N())[:10]
+	gp := make([]prob.Dist, len(rows))
+	svals := make([]int, len(rows))
+	for i, ri := range rows {
+		gp[i] = priors[ri]
+		svals[i] = e.Table.Records[ri].S
+	}
+	counts := inference.GroupCounts(svals, e.Table.Schema.M())
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := inference.ExactPosteriors(gp, counts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("omega", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			inference.Omega{}.Posteriors(gp, counts)
+		}
+	})
+}
+
+// BenchmarkFig3aRisk measures one worst-case disclosure risk evaluation
+// — the per-point cost of the Figure 3(a) continuity sweep.
+func BenchmarkFig3aRisk(b *testing.B) {
+	e := benchEngine(b, 1000)
+	res, err := e.AnonymizeModel(core.BTPrivacy, core.Table5()[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	bvec := kernel.UniformBandwidth(e.Table.Schema.D(), 0.4)
+	if _, err := e.Priors(bvec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.WorstCaseRisk(res, bvec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3bRisk measures the two-component bandwidth variant of
+// the risk evaluation (Figure 3(b) grid points).
+func BenchmarkFig3bRisk(b *testing.B) {
+	e := benchEngine(b, 1000)
+	d := e.Table.Schema.D()
+	bvec := make([]float64, d)
+	for i := range bvec {
+		if i < d/2 {
+			bvec[i] = 0.3
+		} else {
+			bvec[i] = 0.5
+		}
+	}
+	p := core.Table5()[0]
+	p.BVec = bvec
+	res, err := e.AnonymizeModel(core.BTPrivacy, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	adv := kernel.UniformBandwidth(d, 0.3)
+	if _, err := e.Priors(adv); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.WorstCaseRisk(res, adv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4aAnonymize measures Mondrian anonymization time for each
+// privacy model at para1 — Figure 4(a)'s bars.
+func BenchmarkFig4aAnonymize(b *testing.B) {
+	e := benchEngine(b, 1000)
+	p := core.Table5()[0]
+	for _, m := range core.AllModels() {
+		req, err := e.Requirement(m, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.Anonymize(req)
+			}
+		})
+	}
+}
+
+// BenchmarkFig4bKernel measures kernel background-knowledge estimation
+// — Figure 4(b)'s dominant cost — at two input sizes.
+func BenchmarkFig4bKernel(b *testing.B) {
+	for _, n := range []int{500, 1000, 2000} {
+		table := adult.Generate(n, 42)
+		est, err := kernel.NewEstimator(table, adult.Hierarchies(), kernel.Epanechnikov{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bvec := kernel.UniformBandwidth(table.Schema.D(), 0.3)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := est.ProfilePriors(bvec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1000 && n%1000 == 0:
+		return string(rune('0'+n/1000)) + "k"
+	default:
+		return "n" + string(rune('0'+n/100)) + "00"
+	}
+}
+
+// BenchmarkFig5Utility measures the DM and GCP computations over a
+// release — Figure 5's metrics.
+func BenchmarkFig5Utility(b *testing.B) {
+	e := benchEngine(b, 1000)
+	res, err := e.AnonymizeModel(core.DistinctLDiversity, core.Table5()[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("DM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			utility.Discernibility(res)
+		}
+	})
+	b.Run("GCP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			utility.GCP(res)
+		}
+	})
+}
+
+// BenchmarkFig6Queries measures aggregate COUNT query evaluation — the
+// Figure 6 workload — per query.
+func BenchmarkFig6Queries(b *testing.B) {
+	e := benchEngine(b, 1000)
+	res, err := e.AnonymizeModel(core.TCloseness, core.Table5()[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &utility.Workload{QD: 4, Sel: 0.07, Queries: 1, Rng: rand.New(rand.NewSource(2))}
+	queries := make([]*utility.Query, 64)
+	for i := range queries {
+		queries[i] = w.Generate(e.Table.Schema)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		q.TrueCount(e.Table)
+		q.EstimateCount(res)
+	}
+}
+
+// BenchmarkPriorEstimation isolates the Nadaraya–Watson pass per
+// bandwidth — the paper's main efficiency concern.
+func BenchmarkPriorEstimation(b *testing.B) {
+	table := adult.Generate(1000, 42)
+	est, err := kernel.NewEstimator(table, adult.Hierarchies(), kernel.Epanechnikov{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bw := range []float64{0.2, 0.5} {
+		bvec := kernel.UniformBandwidth(table.Schema.D(), bw)
+		b.Run("b="+fmtBW(bw), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := est.ProfilePriors(bvec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func fmtBW(b float64) string {
+	if b == 0.2 {
+		return "0.2"
+	}
+	return "0.5"
+}
+
+// BenchmarkSmoothedJS measures the disclosure measure itself.
+func BenchmarkSmoothedJS(b *testing.B) {
+	h := adult.OccupationHierarchy()
+	sch := adult.NewSchema()
+	m, err := h.DistanceMatrix(sch.Sensitive.Values)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := distance.NewSmoothedJS(m, kernel.Epanechnikov{}, core.SmoothingBandwidth)
+	rng := rand.New(rand.NewSource(3))
+	p := make(prob.Dist, 14)
+	q := make(prob.Dist, 14)
+	for i := range p {
+		p[i], q[i] = rng.Float64(), rng.Float64()
+	}
+	p.Normalize()
+	q.Normalize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Distance(p, q)
+	}
+}
+
+// BenchmarkMondrianScaling shows anonymization scaling with table size.
+func BenchmarkMondrianScaling(b *testing.B) {
+	for _, n := range []int{500, 2000} {
+		e := benchEngine(b, n)
+		req, err := e.Requirement(core.DistinctLDiversity, core.Table5()[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.Anonymize(req)
+			}
+		})
+	}
+}

@@ -1,0 +1,43 @@
+// Command datagen writes a synthetic Adult-like microdata table as CSV
+// (see internal/adult for the generation model and the substitution
+// rationale in DESIGN.md).
+//
+// Usage:
+//
+//	datagen [-n N] [-seed S] [-o out.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/adult"
+	"repro/internal/dataset"
+)
+
+func main() {
+	n := flag.Int("n", 30000, "number of records")
+	seed := flag.Int64("seed", 42, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	table := adult.Generate(*n, *seed)
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := dataset.WriteCSV(w, table); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

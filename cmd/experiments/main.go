@@ -1,0 +1,95 @@
+// Command experiments regenerates the paper's evaluation figures
+// (Figures 1–6) as text tables.
+//
+// Usage:
+//
+//	experiments [-full] [-n N] [-seed S] [-fig id] [-csv]
+//
+// By default it runs the quick configuration (2K tuples, reduced trial
+// counts). -full switches to the paper's scales (~30K tuples, 100
+// trials, fine bandwidth grid); expect kernel estimation to take
+// minutes, as in the paper's Figure 4(b). -fig restricts the run to a
+// single figure id (fig1a, fig1b, fig2, fig3a, fig3b, fig4a, fig4b,
+// fig5a, fig5b, fig6a, fig6b).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at the paper's scales (slow)")
+	n := flag.Int("n", 0, "override table size")
+	seed := flag.Int64("seed", 42, "data generator seed")
+	fig := flag.String("fig", "", "run a single figure (e.g. fig1a, ablation-kernels)")
+	abl := flag.Bool("ablations", false, "also run the ablation studies")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *full {
+		cfg = experiments.PaperConfig()
+	}
+	if *n > 0 {
+		cfg.N = *n
+	}
+	cfg.Seed = *seed
+
+	r, err := experiments.NewRunner(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	steps := map[string]func() (*experiments.Report, error){
+		"fig1a": r.Fig1a, "fig1b": r.Fig1b, "fig2": r.Fig2,
+		"fig3a": r.Fig3a, "fig3b": r.Fig3b, "fig4a": r.Fig4a,
+		"fig4b": r.Fig4b, "fig5a": r.Fig5a, "fig5b": r.Fig5b,
+		"fig6a": r.Fig6a, "fig6b": r.Fig6b,
+		"ablation-kernels":   r.AblationKernels,
+		"ablation-inference": r.AblationInference,
+		"ablation-injector":  r.AblationInjector,
+		"ablation-smoothing": r.AblationSmoothing,
+	}
+	var reports []*experiments.Report
+	if *fig != "" {
+		step, ok := steps[*fig]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\n", *fig)
+			os.Exit(2)
+		}
+		rep, err := step()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		reports = append(reports, rep)
+	} else {
+		reports, err = r.All()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if *abl {
+			for _, id := range []string{"ablation-kernels", "ablation-inference", "ablation-injector", "ablation-smoothing"} {
+				rep, err := steps[id]()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+				reports = append(reports, rep)
+			}
+		}
+	}
+	for _, rep := range reports {
+		if *csv {
+			fmt.Printf("# %s: %s\n%s\n", rep.ID, rep.Title, rep.CSV())
+		} else {
+			fmt.Println(rep.String())
+		}
+	}
+}

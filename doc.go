@@ -1,0 +1,20 @@
+// Package repro reproduces "Modeling and Integrating Background
+// Knowledge in Data Anonymization" (Li, Li & Zhang, ICDE 2009) as a
+// production-quality Go library built entirely on the standard library.
+//
+// The paper's framework models an adversary's background knowledge as a
+// per-individual probability distribution over the sensitive attribute,
+// estimated from the data itself with Nadaraya–Watson kernel regression
+// (internal/kernel); computes the adversary's posterior belief over an
+// anonymized release with exact permanent-based Bayesian inference and
+// the linear-time Ω-estimate (internal/inference); quantifies
+// disclosure with a kernel-smoothed Jensen–Shannon divergence
+// satisfying five desiderata (internal/distance); and enforces the
+// (B,t)- and skyline (B,t)-privacy models inside a Mondrian anonymizer
+// (internal/privacy, internal/mondrian), with Anatomy bucketization,
+// utility measures, and a full experiment harness regenerating every
+// figure of the paper's evaluation (internal/experiments).
+//
+// Start with examples/quickstart, or see DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the reproduced evaluation.
+package repro

@@ -1,0 +1,69 @@
+// Skyline demonstrates the skyline (B,t)-privacy principle
+// (Definition 2): one release that simultaneously bounds the knowledge
+// gain of adversaries at several background-knowledge levels, so the
+// publisher does not need to guess the adversary's exact bandwidth.
+//
+// Run: go run ./examples/skyline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/adult"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/utility"
+)
+
+func main() {
+	table := adult.Generate(2000, 7)
+	engine, err := core.New(table, adult.Hierarchies(), nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The skyline: knowledgeable adversaries may learn a little,
+	// ignorant ones a bit more (they have more to learn before they
+	// reach what the data publicly implies).
+	skyline := []core.Params{
+		{B: 0.2, T: 0.2},
+		{B: 0.3, T: 0.25},
+		{B: 0.5, T: 0.3},
+	}
+	req, err := engine.SkylineRequirement(3, skyline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	release := engine.Anonymize(req)
+	fmt.Printf("skyline release: %d groups over %d records\n", len(release.Groups), table.N())
+	fmt.Printf("requirement: %s\n\n", req.Name())
+
+	// Verify every skyline entry and probe intermediate bandwidths:
+	// the continuity of worst-case risk (paper §V-C) is what makes a
+	// finite skyline protect the whole bandwidth range.
+	fmt.Printf("%-8s %-12s %-10s\n", "b'", "worst risk", "skyline t")
+	for _, b := range []float64{0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5} {
+		risk, err := engine.WorstCaseRisk(release, kernel.UniformBandwidth(table.Schema.D(), b))
+		if err != nil {
+			log.Fatal(err)
+		}
+		bound := "-"
+		for _, e := range skyline {
+			if e.B == b {
+				bound = fmt.Sprintf("%.2f", e.T)
+			}
+		}
+		fmt.Printf("%-8.2f %-12.4f %-10s\n", b, risk, bound)
+	}
+
+	// What did the extra protection cost? Compare utility with a plain
+	// single-(B,t) release.
+	single, err := engine.AnonymizeModel(core.BTPrivacy, core.Params{K: 3, T: 0.25, B: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nutility: skyline DM=%.0f GCP=%.1f | single-(B,t) DM=%.0f GCP=%.1f\n",
+		utility.Discernibility(release), utility.GCP(release),
+		utility.Discernibility(single), utility.GCP(single))
+}

@@ -1,0 +1,205 @@
+package adult
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestSchemaCardinalities(t *testing.T) {
+	// Paper Table IV: Age 74, Workclass 8, Education 16, Marital 7,
+	// Race 5, Sex 2, Occupation (sensitive) 14.
+	sch := NewSchema()
+	want := map[string]int{
+		"Age": 74, "Workclass": 8, "Education": 16,
+		"Marital-status": 7, "Race": 5, "Sex": 2,
+	}
+	if len(sch.QI) != 6 {
+		t.Fatalf("QI attributes = %d, want 6", len(sch.QI))
+	}
+	for _, a := range sch.QI {
+		if a.Size() != want[a.Name] {
+			t.Errorf("%s cardinality = %d, want %d", a.Name, a.Size(), want[a.Name])
+		}
+	}
+	if sch.Sensitive.Name != "Occupation" || sch.Sensitive.Size() != 14 {
+		t.Errorf("sensitive = %s/%d, want Occupation/14", sch.Sensitive.Name, sch.Sensitive.Size())
+	}
+	if sch.QI[0].Kind != dataset.Numeric {
+		t.Error("Age should be numeric")
+	}
+}
+
+func TestGenerateValidAndSized(t *testing.T) {
+	tab := Generate(500, 1)
+	if tab.N() != 500 {
+		t.Fatalf("N = %d", tab.N())
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(300, 7)
+	b := Generate(300, 7)
+	for i := range a.Records {
+		if a.Records[i].S != b.Records[i].S {
+			t.Fatalf("record %d differs between equal-seed generations", i)
+		}
+		for j := range a.Records[i].QI {
+			if a.Records[i].QI[j] != b.Records[i].QI[j] {
+				t.Fatalf("record %d attr %d differs", i, j)
+			}
+		}
+	}
+	c := Generate(300, 8)
+	same := 0
+	for i := range a.Records {
+		if a.Records[i].S == c.Records[i].S {
+			same++
+		}
+	}
+	if same == 300 {
+		t.Error("different seeds produced identical sensitive values")
+	}
+}
+
+func TestHardSexConstraints(t *testing.T) {
+	// Armed-Forces is male-only; Priv-house-serv is female-only — the
+	// deterministic negative-association knowledge of the paper's §I.
+	tab := Generate(20000, 2)
+	sch := tab.Schema
+	sexIdx := -1
+	for i, a := range sch.QI {
+		if a.Name == "Sex" {
+			sexIdx = i
+		}
+	}
+	female, _ := sch.QI[sexIdx].Index("Female")
+	armed, _ := sch.Sensitive.Index("Armed-Forces")
+	house, _ := sch.Sensitive.Index("Priv-house-serv")
+	for ri, r := range tab.Records {
+		if r.S == armed && r.QI[sexIdx] == female {
+			t.Fatalf("record %d: female in Armed-Forces", ri)
+		}
+		if r.S == house && r.QI[sexIdx] != female {
+			t.Fatalf("record %d: male in Priv-house-serv", ri)
+		}
+	}
+}
+
+func TestAgeBounds(t *testing.T) {
+	tab := Generate(5000, 3)
+	age := tab.Schema.QI[0]
+	for _, r := range tab.Records {
+		v := age.Num(r.QI[0])
+		if v < AgeMin || v > AgeMax {
+			t.Fatalf("age %g out of [%d,%d]", v, AgeMin, AgeMax)
+		}
+	}
+}
+
+func TestOccupationCorrelations(t *testing.T) {
+	// The generator must encode real correlational structure: degree
+	// holders work Prof-specialty far more often than non-HS graduates.
+	tab := Generate(30000, 4)
+	sch := tab.Schema
+	eduIdx := -1
+	for i, a := range sch.QI {
+		if a.Name == "Education" {
+			eduIdx = i
+		}
+	}
+	prof, _ := sch.Sensitive.Index("Prof-specialty")
+	doctorate, _ := sch.QI[eduIdx].Index("Doctorate")
+	grade9, _ := sch.QI[eduIdx].Index("9th")
+	var profHi, totHi, profLo, totLo int
+	for _, r := range tab.Records {
+		switch r.QI[eduIdx] {
+		case doctorate:
+			totHi++
+			if r.S == prof {
+				profHi++
+			}
+		case grade9:
+			totLo++
+			if r.S == prof {
+				profLo++
+			}
+		}
+	}
+	if totHi == 0 || totLo == 0 {
+		t.Fatal("degenerate education marginals")
+	}
+	hi := float64(profHi) / float64(totHi)
+	lo := float64(profLo) / float64(totLo)
+	if hi < 4*lo {
+		t.Errorf("Prof-specialty rate: doctorate %.3f vs 9th %.3f — correlation too weak", hi, lo)
+	}
+}
+
+func TestHierarchiesCoverDomains(t *testing.T) {
+	sch := NewSchema()
+	hiers := Hierarchies()
+	attrs := append(append([]*dataset.Attribute{}, sch.QI...), sch.Sensitive)
+	for _, a := range attrs {
+		if a.Kind != dataset.Categorical {
+			continue
+		}
+		h, ok := hiers[a.Name]
+		if !ok {
+			t.Errorf("no hierarchy for %s", a.Name)
+			continue
+		}
+		for _, v := range a.Values {
+			if _, ok := h.Leaf(v); !ok {
+				t.Errorf("hierarchy for %s missing leaf %q", a.Name, v)
+			}
+		}
+		if got := len(h.Leaves()); got != a.Size() {
+			t.Errorf("hierarchy for %s has %d leaves, domain has %d", a.Name, got, a.Size())
+		}
+	}
+}
+
+func TestOccupationHierarchyHeight(t *testing.T) {
+	// §IV-B.2: the sensitive hierarchy has height 2.
+	if h := OccupationHierarchy(); h.Height() != 2 {
+		t.Errorf("occupation hierarchy height = %d, want 2", h.Height())
+	}
+}
+
+func TestMaritalAgeCorrelation(t *testing.T) {
+	tab := Generate(20000, 5)
+	sch := tab.Schema
+	var maritalIdx int
+	for i, a := range sch.QI {
+		if a.Name == "Marital-status" {
+			maritalIdx = i
+		}
+	}
+	never, _ := sch.QI[maritalIdx].Index("Never-married")
+	age := sch.QI[0]
+	var youngNever, youngTot, oldNever, oldTot int
+	for _, r := range tab.Records {
+		a := age.Num(r.QI[0])
+		if a < 25 {
+			youngTot++
+			if r.QI[maritalIdx] == never {
+				youngNever++
+			}
+		} else if a >= 50 {
+			oldTot++
+			if r.QI[maritalIdx] == never {
+				oldNever++
+			}
+		}
+	}
+	if youngTot == 0 || oldTot == 0 {
+		t.Fatal("degenerate age marginals")
+	}
+	if float64(youngNever)/float64(youngTot) < 2*float64(oldNever)/float64(oldTot) {
+		t.Error("never-married should be far more common among the young")
+	}
+}

@@ -1,0 +1,136 @@
+// Package anatomy implements the Anatomy bucketization algorithm
+// (Xiao & Tao, VLDB 2006), the alternative anonymization technique the
+// paper discusses in §III-A. Anatomy publishes exact QI values in one
+// table and the per-group sensitive multiset in another; under the
+// paper's threat model the adversary's view is exactly the group
+// structure, so the output reuses anonymize.Result.
+//
+// The anatomizing algorithm enforces distinct ℓ-diversity: while at
+// least ℓ sensitive values still have unassigned tuples, it forms a
+// group with one tuple from each of the ℓ currently most frequent
+// values; leftover tuples are then appended to existing groups whose
+// multiset does not already contain their value.
+package anatomy
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/anonymize"
+	"repro/internal/dataset"
+)
+
+// Anatomize partitions the table into ℓ-eligible buckets. It returns an
+// error when the table is not ℓ-eligible (some sensitive value occurs
+// in more than n/ℓ of the records), the same condition Anatomy needs.
+func Anatomize(t *dataset.Table, l int) (*anonymize.Result, error) {
+	if l < 2 {
+		return nil, fmt.Errorf("anatomy: l must be at least 2, got %d", l)
+	}
+	m := t.Schema.M()
+	buckets := make([][]int, m) // record indexes per sensitive value
+	for ri, r := range t.Records {
+		buckets[r.S] = append(buckets[r.S], ri)
+	}
+	for s, b := range buckets {
+		if len(b)*l > t.N() {
+			return nil, fmt.Errorf("anatomy: table is not %d-eligible: value %q holds %d of %d records",
+				l, t.Schema.Sensitive.Value(s), len(b), t.N())
+		}
+	}
+
+	// Max-heap of (remaining count, sensitive value).
+	h := &countHeap{}
+	for s, b := range buckets {
+		if len(b) > 0 {
+			heap.Push(h, countEntry{count: len(b), s: s})
+		}
+	}
+
+	var groups [][]int
+	for h.Len() >= l {
+		picked := make([]countEntry, l)
+		group := make([]int, 0, l)
+		for i := 0; i < l; i++ {
+			picked[i] = heap.Pop(h).(countEntry)
+			b := buckets[picked[i].s]
+			group = append(group, b[len(b)-1])
+			buckets[picked[i].s] = b[:len(b)-1]
+			picked[i].count--
+		}
+		for _, e := range picked {
+			if e.count > 0 {
+				heap.Push(h, e)
+			}
+		}
+		groups = append(groups, group)
+	}
+
+	// Residual assignment: each leftover value has exactly one tuple
+	// remaining (otherwise the eligibility bound is violated); add it to
+	// a group that does not contain its value yet.
+	for h.Len() > 0 {
+		e := heap.Pop(h).(countEntry)
+		for _, ri := range buckets[e.s] {
+			placed := false
+			for gi, g := range groups {
+				if !groupHasValue(t, g, e.s) {
+					groups[gi] = append(g, ri)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				return nil, fmt.Errorf("anatomy: residual tuple with value %q cannot be placed",
+					t.Schema.Sensitive.Value(e.s))
+			}
+		}
+		buckets[e.s] = nil
+	}
+
+	res := &anonymize.Result{
+		Table:       t,
+		Algorithm:   "anatomy",
+		Requirement: fmt.Sprintf("distinct-%d-diversity", l),
+	}
+	for _, g := range groups {
+		res.Groups = append(res.Groups, &anonymize.Group{
+			Rows:   g,
+			Extent: anonymize.NewExtent(t, g),
+		})
+	}
+	return res, nil
+}
+
+func groupHasValue(t *dataset.Table, rows []int, s int) bool {
+	for _, ri := range rows {
+		if t.Records[ri].S == s {
+			return true
+		}
+	}
+	return false
+}
+
+type countEntry struct {
+	count int
+	s     int
+}
+
+type countHeap []countEntry
+
+func (h countHeap) Len() int { return len(h) }
+func (h countHeap) Less(i, j int) bool {
+	if h[i].count != h[j].count {
+		return h[i].count > h[j].count
+	}
+	return h[i].s < h[j].s
+}
+func (h countHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *countHeap) Push(x interface{}) { *h = append(*h, x.(countEntry)) }
+func (h *countHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,138 @@
+package anatomy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func makeTable(svals []int, m int) *dataset.Table {
+	sch := &dataset.Schema{
+		QI:        []*dataset.Attribute{dataset.NewNumeric("Age", []float64{1, 2, 3, 4, 5, 6, 7, 8})},
+		Sensitive: dataset.NewCategorical("D", letters(m)),
+	}
+	tab := &dataset.Table{Schema: sch}
+	for i, s := range svals {
+		tab.Records = append(tab.Records, dataset.Record{QI: []int{i % 8}, S: s})
+	}
+	return tab
+}
+
+func letters(m int) []string {
+	out := make([]string, m)
+	for i := range out {
+		out[i] = string(rune('a' + i))
+	}
+	return out
+}
+
+func TestAnatomizeLDiverse(t *testing.T) {
+	tab := makeTable([]int{0, 0, 1, 1, 2, 2, 3, 3}, 4)
+	res, err := Anatomize(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for gi, g := range res.Groups {
+		counts := res.SensitiveCounts(g)
+		distinct := 0
+		for _, c := range counts {
+			if c > 0 {
+				distinct++
+			}
+		}
+		if distinct < 2 {
+			t.Errorf("group %d has %d distinct values, want >= 2", gi, distinct)
+		}
+	}
+}
+
+func TestAnatomizeIneligible(t *testing.T) {
+	// Value 'a' holds 5 of 6 records: not 2-eligible.
+	tab := makeTable([]int{0, 0, 0, 0, 0, 1}, 2)
+	if _, err := Anatomize(tab, 2); err == nil {
+		t.Error("accepted ineligible table")
+	}
+}
+
+func TestAnatomizeBadL(t *testing.T) {
+	tab := makeTable([]int{0, 1}, 2)
+	if _, err := Anatomize(tab, 1); err == nil {
+		t.Error("accepted l = 1")
+	}
+}
+
+func TestAnatomizeResidual(t *testing.T) {
+	// 7 records over 3 values: residual assignment must still produce
+	// a valid partition with every group 2-diverse.
+	tab := makeTable([]int{0, 0, 0, 1, 1, 2, 2}, 3)
+	res, err := Anatomize(tab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnatomizeProperty(t *testing.T) {
+	// For any l-eligible table, Anatomize yields a valid partition with
+	// l distinct values per group.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 3 + rng.Intn(4)
+		l := 2 + rng.Intn(2)
+		n := l * (3 + rng.Intn(10))
+		svals := make([]int, n)
+		// Round-robin assignment guarantees eligibility.
+		for i := range svals {
+			svals[i] = i % m
+		}
+		rng.Shuffle(n, func(i, j int) { svals[i], svals[j] = svals[j], svals[i] })
+		tab := makeTable(svals, m)
+		res, err := Anatomize(tab, l)
+		if err != nil {
+			return false
+		}
+		if res.Validate() != nil {
+			return false
+		}
+		for _, g := range res.Groups {
+			distinct := 0
+			for _, c := range res.SensitiveCounts(g) {
+				if c > 0 {
+					distinct++
+				}
+			}
+			if distinct < l {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnatomizeGroupSizes(t *testing.T) {
+	// The anatomizing algorithm forms groups of exactly l before the
+	// residual pass; groups can exceed l only via residuals.
+	tab := makeTable([]int{0, 0, 1, 1, 2, 2}, 3)
+	res, err := Anatomize(tab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(res.Groups))
+	}
+	for _, g := range res.Groups {
+		if g.Size() != 3 {
+			t.Errorf("group size = %d, want 3", g.Size())
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package anonymize
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/hierarchy"
+)
+
+// LCALabel renders the extent's attribute i as the label of the lowest
+// hierarchy node covering every value in the extent — "Government"
+// rather than "{Federal-gov..State-gov}". Numeric attributes and
+// attributes without a hierarchy fall back to Format. When the extent
+// straddles subtree boundaries, the covering node is an ancestor and
+// its label may generalize more than the raw index range; that is the
+// usual price of label-based recoding.
+func (e Extent) LCALabel(a *dataset.Attribute, i int, h *hierarchy.Hierarchy) string {
+	if a.Kind != dataset.Categorical || h == nil || e.Lo[i] == e.Hi[i] {
+		return e.Format(a, i)
+	}
+	values := make([]string, 0, e.Hi[i]-e.Lo[i]+1)
+	for v := e.Lo[i]; v <= e.Hi[i]; v++ {
+		values = append(values, a.Value(v))
+	}
+	node, err := h.LCAOf(values)
+	if err != nil {
+		return e.Format(a, i)
+	}
+	if node == h.Root {
+		return "*"
+	}
+	return node.Label
+}
+
+// RenderWith renders the generalized table like Render, but uses
+// hierarchy labels for categorical extents. hiers maps attribute names
+// to hierarchies; missing entries fall back to range rendering.
+func (r *Result) RenderWith(hiers map[string]*hierarchy.Hierarchy) string {
+	var b strings.Builder
+	sch := r.Table.Schema
+	fmt.Fprintf(&b, "%s | %s\n", strings.Join(sch.QINames(), " | "), sch.Sensitive.Name)
+	for gi, g := range r.Groups {
+		rows := append([]int(nil), g.Rows...)
+		sort.Ints(rows)
+		for _, ri := range rows {
+			cells := make([]string, sch.D())
+			for i, a := range sch.QI {
+				cells[i] = g.Extent.LCALabel(a, i, hiers[a.Name])
+			}
+			fmt.Fprintf(&b, "%s | %s\n", strings.Join(cells, " | "), sch.Sensitive.Value(r.Table.Records[ri].S))
+		}
+		if gi != len(r.Groups)-1 {
+			b.WriteString("---\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package anonymize
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/hierarchy"
+)
+
+func renderFixture() (*dataset.Table, *Result, map[string]*hierarchy.Hierarchy) {
+	h := hierarchy.MustNew(hierarchy.N("*",
+		hierarchy.N("Respiratory", hierarchy.N("Flu"), hierarchy.N("Emphysema")),
+		hierarchy.N("Other", hierarchy.N("Cancer"), hierarchy.N("Gastritis")),
+	))
+	sch := &dataset.Schema{
+		QI: []*dataset.Attribute{
+			dataset.NewCategorical("Diag", h.Leaves()),
+		},
+		Sensitive: dataset.NewCategorical("S", []string{"x", "y"}),
+	}
+	tab := &dataset.Table{Schema: sch}
+	for v := 0; v < 4; v++ {
+		tab.Records = append(tab.Records, dataset.Record{QI: []int{v}, S: v % 2})
+	}
+	res := &Result{Table: tab, Groups: []*Group{
+		{Rows: []int{0, 1}, Extent: NewExtent(tab, []int{0, 1})}, // Flu+Emphysema
+		{Rows: []int{2, 3}, Extent: NewExtent(tab, []int{2, 3})}, // Cancer+Gastritis
+	}}
+	return tab, res, map[string]*hierarchy.Hierarchy{"Diag": h}
+}
+
+func TestLCALabelSubtree(t *testing.T) {
+	tab, res, hiers := renderFixture()
+	a := tab.Schema.QI[0]
+	if got := res.Groups[0].Extent.LCALabel(a, 0, hiers["Diag"]); got != "Respiratory" {
+		t.Errorf("label = %s, want Respiratory", got)
+	}
+	if got := res.Groups[1].Extent.LCALabel(a, 0, hiers["Diag"]); got != "Other" {
+		t.Errorf("label = %s, want Other", got)
+	}
+}
+
+func TestLCALabelRootAndPoint(t *testing.T) {
+	tab, _, hiers := renderFixture()
+	a := tab.Schema.QI[0]
+	all := NewExtent(tab, []int{0, 1, 2, 3})
+	if got := all.LCALabel(a, 0, hiers["Diag"]); got != "*" {
+		t.Errorf("root label = %s, want *", got)
+	}
+	point := NewExtent(tab, []int{2})
+	if got := point.LCALabel(a, 0, hiers["Diag"]); got != "Cancer" {
+		t.Errorf("point label = %s, want Cancer", got)
+	}
+	// No hierarchy: fall back to range rendering.
+	if got := all.LCALabel(a, 0, nil); got != "*" {
+		t.Errorf("fallback = %s", got)
+	}
+}
+
+func TestRenderWith(t *testing.T) {
+	_, res, hiers := renderFixture()
+	out := res.RenderWith(hiers)
+	if !strings.Contains(out, "Respiratory") || !strings.Contains(out, "Other") {
+		t.Errorf("hierarchy labels missing:\n%s", out)
+	}
+	if strings.Contains(out, "{") {
+		t.Errorf("raw range leaked into hierarchy rendering:\n%s", out)
+	}
+}

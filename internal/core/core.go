@@ -1,0 +1,342 @@
+// Package core is the paper's primary contribution assembled into one
+// engine: kernel-estimated background knowledge (§II), posterior
+// inference (§III), the kernel-smoothed JS disclosure measure (§IV-B),
+// and the (B,t)- and skyline (B,t)-privacy models (§IV-A), wired to the
+// Mondrian anonymizer and the baseline models for the paper's
+// comparative evaluation (§V).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/anonymize"
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/hierarchy"
+	"repro/internal/inference"
+	"repro/internal/kernel"
+	"repro/internal/mondrian"
+	"repro/internal/privacy"
+	"repro/internal/prob"
+)
+
+// SmoothingBandwidth is the sensitive-domain kernel-smoothing bandwidth
+// for the disclosure measure. The paper requires at least 0.5 for a
+// height-2 sensitive hierarchy (sibling distance 0.5) so that sibling
+// values actually mix; the Epanechnikov kernel has open support, so we
+// sit modestly above that bound.
+const SmoothingBandwidth = 0.51
+
+// Model names the privacy models compared in the evaluation.
+type Model int
+
+const (
+	// DistinctLDiversity is distinct ℓ-diversity.
+	DistinctLDiversity Model = iota
+	// ProbabilisticLDiversity bounds each value's in-group frequency by 1/ℓ.
+	ProbabilisticLDiversity
+	// TCloseness bounds the EMD between group and table distributions.
+	TCloseness
+	// BTPrivacy is the paper's (B,t)-privacy model.
+	BTPrivacy
+)
+
+var modelNames = map[Model]string{
+	DistinctLDiversity:      "distinct-l-diversity",
+	ProbabilisticLDiversity: "probabilistic-l-diversity",
+	TCloseness:              "t-closeness",
+	BTPrivacy:               "(B,t)-privacy",
+}
+
+func (m Model) String() string { return modelNames[m] }
+
+// AllModels lists the four models in the paper's reporting order.
+func AllModels() []Model {
+	return []Model{DistinctLDiversity, ProbabilisticLDiversity, TCloseness, BTPrivacy}
+}
+
+// Params is one privacy parameter set in the style of the paper's
+// Table V: k-anonymity K, ℓ-diversity L, closeness/disclosure bound T,
+// and the enforced background-knowledge bandwidth B (uniform across QI
+// attributes unless BVec is set).
+type Params struct {
+	K    int
+	L    int
+	T    float64
+	B    float64
+	BVec []float64 // optional per-attribute bandwidth, overrides B
+}
+
+// Table5 returns the paper's four parameter sets para1..para4.
+func Table5() []Params {
+	return []Params{
+		{K: 3, L: 3, T: 0.25, B: 0.3},
+		{K: 4, L: 4, T: 0.2, B: 0.3},
+		{K: 5, L: 5, T: 0.15, B: 0.3},
+		{K: 6, L: 6, T: 0.1, B: 0.3},
+	}
+}
+
+// Engine binds a table to the framework: estimator, sensitive distance
+// matrix, disclosure measure, prior cache, and model construction.
+type Engine struct {
+	Table     *dataset.Table
+	Hiers     map[string]*hierarchy.Hierarchy
+	Kernel    kernel.Func
+	Estimator *kernel.Estimator
+	// SensMatrix is the sensitive attribute's semantic distance matrix.
+	SensMatrix [][]float64
+	// Measure is the paper's kernel-smoothed JS disclosure measure.
+	Measure distance.Measure
+	// Method computes posteriors inside (B,t) checks and attacks.
+	Method inference.Method
+
+	mu     sync.Mutex
+	priors map[string][]prob.Dist
+}
+
+// New builds an engine. hiers maps attribute names (QI and sensitive)
+// to hierarchies; missing entries fall back to flat hierarchies. A nil
+// kernel defaults to Epanechnikov, a nil method to the Ω-estimate.
+func New(t *dataset.Table, hiers map[string]*hierarchy.Hierarchy, k kernel.Func, method inference.Method) (*Engine, error) {
+	if k == nil {
+		k = kernel.Epanechnikov{}
+	}
+	if method == nil {
+		method = inference.Omega{}
+	}
+	est, err := kernel.NewEstimator(t, hiers, k)
+	if err != nil {
+		return nil, fmt.Errorf("core: building estimator: %w", err)
+	}
+	sm, err := kernel.AttributeMatrix(t.Schema.Sensitive, hiers[t.Schema.Sensitive.Name])
+	if err != nil {
+		return nil, fmt.Errorf("core: sensitive distance matrix: %w", err)
+	}
+	return &Engine{
+		Table:      t,
+		Hiers:      hiers,
+		Kernel:     k,
+		Estimator:  est,
+		SensMatrix: sm,
+		Measure:    distance.NewSmoothedJS(sm, k, SmoothingBandwidth),
+		Method:     method,
+		priors:     map[string][]prob.Dist{},
+	}, nil
+}
+
+// bandKey builds the cache key for a bandwidth vector.
+func bandKey(b []float64) string {
+	parts := make([]string, len(b))
+	for i, x := range b {
+		parts[i] = strconv.FormatFloat(x, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Priors returns the per-record prior beliefs of adversary Adv(B),
+// computing and caching them on first use.
+func (e *Engine) Priors(b []float64) ([]prob.Dist, error) {
+	key := bandKey(b)
+	e.mu.Lock()
+	cached, ok := e.priors[key]
+	e.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	priors, err := e.Estimator.Priors(b)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.priors[key] = priors
+	e.mu.Unlock()
+	return priors, nil
+}
+
+// UniformPriors is Priors with the uniform bandwidth vector (b,…,b).
+func (e *Engine) UniformPriors(b float64) ([]prob.Dist, error) {
+	return e.Priors(kernel.UniformBandwidth(e.Table.Schema.D(), b))
+}
+
+// Requirement builds the composed requirement (model ∧ K-anonymity)
+// for a parameter set, as the evaluation enforces (§V).
+func (e *Engine) Requirement(m Model, p Params) (privacy.Requirement, error) {
+	var attr privacy.Requirement
+	switch m {
+	case DistinctLDiversity:
+		attr = privacy.DistinctLDiversity{L: p.L, Table: e.Table}
+	case ProbabilisticLDiversity:
+		attr = privacy.ProbabilisticLDiversity{L: float64(p.L), Table: e.Table}
+	case TCloseness:
+		attr = privacy.TCloseness{
+			T:     p.T,
+			Table: e.Table,
+			Whole: e.Estimator.WholeTableDist(),
+			M:     e.SensMatrix,
+		}
+	case BTPrivacy:
+		bt, err := e.BTRequirement(p)
+		if err != nil {
+			return nil, err
+		}
+		attr = bt
+	default:
+		return nil, fmt.Errorf("core: unknown model %d", int(m))
+	}
+	return privacy.And{Parts: []privacy.Requirement{privacy.KAnonymity{K: p.K}, attr}}, nil
+}
+
+// BTRequirement builds the bare (B,t) requirement for a parameter set.
+func (e *Engine) BTRequirement(p Params) (privacy.BTPrivacy, error) {
+	bvec := p.BVec
+	if bvec == nil {
+		bvec = kernel.UniformBandwidth(e.Table.Schema.D(), p.B)
+	}
+	priors, err := e.Priors(bvec)
+	if err != nil {
+		return privacy.BTPrivacy{}, err
+	}
+	return privacy.BTPrivacy{
+		T:       p.T,
+		Table:   e.Table,
+		Priors:  priors,
+		Measure: e.Measure,
+		Method:  e.Method,
+		Label:   "B=" + bandKey(bvec),
+	}, nil
+}
+
+// SkylineRequirement builds the skyline (B,t) requirement for a set of
+// (B_i, t_i) pairs, composed with K-anonymity.
+func (e *Engine) SkylineRequirement(k int, entries []Params) (privacy.Requirement, error) {
+	sky := privacy.Skyline{}
+	for _, p := range entries {
+		bt, err := e.BTRequirement(p)
+		if err != nil {
+			return nil, err
+		}
+		sky.Entries = append(sky.Entries, bt)
+	}
+	return privacy.And{Parts: []privacy.Requirement{privacy.KAnonymity{K: k}, sky}}, nil
+}
+
+// Anonymize runs the Mondrian variant with the given requirement.
+func (e *Engine) Anonymize(req privacy.Requirement) *anonymize.Result {
+	p := &mondrian.Partitioner{Table: e.Table, Req: req}
+	return p.Anonymize()
+}
+
+// AnonymizeModel anonymizes under (model ∧ k-anonymity) for params p.
+func (e *Engine) AnonymizeModel(m Model, p Params) (*anonymize.Result, error) {
+	req, err := e.Requirement(m, p)
+	if err != nil {
+		return nil, err
+	}
+	return e.Anonymize(req), nil
+}
+
+// Breach decides whether one record's privacy — as promised by a
+// particular privacy model — fails given the adversary's prior and
+// posterior beliefs about it.
+type Breach func(prior, post prob.Dist) bool
+
+// BreachTest returns the vulnerability criterion of a privacy model,
+// following the paper's Figure 1 protocol: a tuple is vulnerable when
+// the adversary's posterior violates the guarantee the model claims.
+//   - ℓ-diversity models: the adversary pins a value with probability
+//     above 1/ℓ — the "well-represented" promise fails.
+//   - t-closeness: the release moves the adversary's belief by more
+//     than t in EMD — the model's own distance — so the breach counts
+//     release-caused drift, not pre-existing prior deviation.
+//   - (B,t)-privacy: the knowledge gain D[prior, posterior] exceeds t.
+func (e *Engine) BreachTest(m Model, p Params) Breach {
+	switch m {
+	case DistinctLDiversity, ProbabilisticLDiversity:
+		bound := 1 / float64(p.L)
+		return func(_, post prob.Dist) bool {
+			mx, _ := post.Max()
+			return mx > bound+prob.Epsilon
+		}
+	case TCloseness:
+		return func(prior, post prob.Dist) bool {
+			return distance.EMD(prior, post, e.SensMatrix) > p.T
+		}
+	default: // BTPrivacy and skyline entries
+		return func(prior, post prob.Dist) bool {
+			return e.Measure.Distance(prior, post) > p.T
+		}
+	}
+}
+
+// AttackReport summarizes a probabilistic background-knowledge attack
+// by adversary Adv(B') against a released table (§V-A).
+type AttackReport struct {
+	// Risks is the per-record knowledge gain D[prior, posterior].
+	Risks []float64
+	// Vulnerable counts records breached under the release's own
+	// privacy criterion (see BreachTest).
+	Vulnerable int
+	// WorstRisk is the maximum gain — the worst-case disclosure risk.
+	WorstRisk float64
+}
+
+// Attack computes the posterior belief of adversary Adv(bvec) for every
+// record of the released table, records the knowledge gains, and counts
+// breaches under the given criterion. A nil breach counts records whose
+// knowledge gain exceeds t.
+func (e *Engine) Attack(res *anonymize.Result, bvec []float64, t float64, breach Breach) (*AttackReport, error) {
+	priors, err := e.Priors(bvec)
+	if err != nil {
+		return nil, err
+	}
+	if breach == nil {
+		breach = func(prior, post prob.Dist) bool {
+			return e.Measure.Distance(prior, post) > t
+		}
+	}
+	rep := &AttackReport{Risks: make([]float64, e.Table.N())}
+	m := e.Table.Schema.M()
+	for _, g := range res.Groups {
+		gp := make([]prob.Dist, g.Size())
+		svals := make([]int, g.Size())
+		for i, ri := range g.Rows {
+			gp[i] = priors[ri]
+			svals[i] = e.Table.Records[ri].S
+		}
+		posts := e.Method.Posteriors(gp, inference.GroupCounts(svals, m))
+		for i, ri := range g.Rows {
+			risk := e.Measure.Distance(gp[i], posts[i])
+			rep.Risks[ri] = risk
+			if breach(gp[i], posts[i]) {
+				rep.Vulnerable++
+			}
+			if risk > rep.WorstRisk {
+				rep.WorstRisk = risk
+			}
+		}
+	}
+	return rep, nil
+}
+
+// WorstCaseRisk returns max_q D[Ppri(B',q), Ppos(B',q,T*)] for the
+// released table, the quantity of Figure 3.
+func (e *Engine) WorstCaseRisk(res *anonymize.Result, bvec []float64) (float64, error) {
+	rep, err := e.Attack(res, bvec, 1, nil)
+	if err != nil {
+		return 0, err
+	}
+	return rep.WorstRisk, nil
+}
+
+// SortedRisks returns the attack risks in decreasing order; useful for
+// risk-profile reporting.
+func SortedRisks(rep *AttackReport) []float64 {
+	out := append([]float64(nil), rep.Risks...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}

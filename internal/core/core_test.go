@@ -1,0 +1,306 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/adult"
+	"repro/internal/inference"
+	"repro/internal/kernel"
+	"repro/internal/privacy"
+	"repro/internal/prob"
+)
+
+// testEngine builds an engine over a small synthetic Adult table.
+func testEngine(t *testing.T, n int) *Engine {
+	t.Helper()
+	tab := adult.Generate(n, 42)
+	e, err := New(tab, adult.Hierarchies(), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestEngineDefaults(t *testing.T) {
+	e := testEngine(t, 200)
+	if e.Kernel.Name() != "epanechnikov" {
+		t.Errorf("default kernel = %s", e.Kernel.Name())
+	}
+	if e.Method.Name() != "omega" {
+		t.Errorf("default method = %s", e.Method.Name())
+	}
+	if !strings.HasPrefix(e.Measure.Name(), "smoothedJS") {
+		t.Errorf("default measure = %s", e.Measure.Name())
+	}
+}
+
+func TestPriorsCached(t *testing.T) {
+	e := testEngine(t, 300)
+	b := kernel.UniformBandwidth(e.Table.Schema.D(), 0.3)
+	p1, err := e.Priors(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e.Priors(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache must return the identical slice, not a recomputation.
+	if &p1[0] != &p2[0] {
+		t.Error("priors were recomputed instead of cached")
+	}
+	for _, p := range p1 {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllModelsAnonymizeAndValidate(t *testing.T) {
+	e := testEngine(t, 400)
+	p := Table5()[0]
+	for _, m := range AllModels() {
+		res, err := e.AnonymizeModel(m, p)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if err := res.Validate(); err != nil {
+			t.Fatalf("%s: invalid partition: %v", m, err)
+		}
+		// k-anonymity composed in: every group has >= K records.
+		for _, g := range res.Groups {
+			if g.Size() < p.K {
+				t.Fatalf("%s: group of %d < k=%d", m, g.Size(), p.K)
+			}
+		}
+	}
+}
+
+func TestBTReleaseHasNoVulnerableTuplesAtEnforcedB(t *testing.T) {
+	// The defining guarantee: a (B,t)-private release attacked by the
+	// adversary Adv(B) it was built against has zero vulnerable tuples
+	// and worst-case risk ≤ t.
+	e := testEngine(t, 500)
+	p := Table5()[0]
+	res, err := e.AnonymizeModel(BTPrivacy, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bvec := kernel.UniformBandwidth(e.Table.Schema.D(), p.B)
+	rep, err := e.Attack(res, bvec, p.T, e.BreachTest(BTPrivacy, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Vulnerable != 0 {
+		t.Errorf("vulnerable = %d, want 0", rep.Vulnerable)
+	}
+	if rep.WorstRisk > p.T+1e-9 {
+		t.Errorf("worst risk %g > t=%g", rep.WorstRisk, p.T)
+	}
+}
+
+func TestBTProtectsBetterThanLDiversity(t *testing.T) {
+	// The paper's headline comparison at the enforced bandwidth.
+	e := testEngine(t, 600)
+	p := Table5()[0]
+	bvec := kernel.UniformBandwidth(e.Table.Schema.D(), p.B)
+
+	ldiv, err := e.AnonymizeModel(DistinctLDiversity, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldivRep, err := e.Attack(ldiv, bvec, p.T, e.BreachTest(DistinctLDiversity, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := e.AnonymizeModel(BTPrivacy, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	btRep, err := e.Attack(bt, bvec, p.T, e.BreachTest(BTPrivacy, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if btRep.Vulnerable >= ldivRep.Vulnerable {
+		t.Errorf("(B,t) vulnerable %d >= l-diversity %d", btRep.Vulnerable, ldivRep.Vulnerable)
+	}
+}
+
+func TestSkylineRequirement(t *testing.T) {
+	e := testEngine(t, 400)
+	entries := []Params{
+		{T: 0.25, B: 0.3},
+		{T: 0.35, B: 0.5},
+	}
+	req, err := e.SkylineRequirement(3, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Anonymize(req)
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Both adversaries must be held to their respective thresholds.
+	for i, entry := range entries {
+		bvec := kernel.UniformBandwidth(e.Table.Schema.D(), entry.B)
+		risk, err := e.WorstCaseRisk(res, bvec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if risk > entry.T+1e-9 {
+			t.Errorf("skyline entry %d: worst risk %g > t=%g", i, risk, entry.T)
+		}
+	}
+}
+
+func TestBreachTests(t *testing.T) {
+	e := testEngine(t, 200)
+	p := Params{K: 3, L: 4, T: 0.2, B: 0.3}
+	m := e.Table.Schema.M()
+
+	uniform := prob.Uniform(m)
+	spiky := prob.New(m)
+	spiky[0] = 0.9
+	spiky[1] = 0.1
+
+	ldiv := e.BreachTest(DistinctLDiversity, p)
+	if ldiv(uniform, uniform) {
+		t.Error("uniform posterior breached 4-diversity (1/14 < 1/4)")
+	}
+	if !ldiv(uniform, spiky) {
+		t.Error("0.9-peak posterior not breached under L=4")
+	}
+
+	tc := e.BreachTest(TCloseness, p)
+	if tc(uniform, uniform) {
+		t.Error("identical prior/posterior breached t-closeness")
+	}
+	if !tc(spiky, uniform) {
+		t.Error("large EMD drift not breached under t=0.2")
+	}
+
+	bt := e.BreachTest(BTPrivacy, p)
+	if bt(uniform, uniform) {
+		t.Error("no knowledge gain breached (B,t)")
+	}
+	if !bt(uniform, spiky) {
+		t.Error("large knowledge gain not breached under t=0.2")
+	}
+}
+
+func TestWorstCaseRiskMatchesAttack(t *testing.T) {
+	e := testEngine(t, 300)
+	p := Table5()[0]
+	res, err := e.AnonymizeModel(DistinctLDiversity, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bvec := kernel.UniformBandwidth(e.Table.Schema.D(), 0.4)
+	risk, err := e.WorstCaseRisk(res, bvec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Attack(res, bvec, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if risk != rep.WorstRisk {
+		t.Errorf("WorstCaseRisk %g != Attack.WorstRisk %g", risk, rep.WorstRisk)
+	}
+	max := 0.0
+	for _, r := range rep.Risks {
+		if r > max {
+			max = r
+		}
+	}
+	if math.Abs(max-risk) > 1e-12 {
+		t.Errorf("max of Risks %g != WorstRisk %g", max, risk)
+	}
+}
+
+func TestSortedRisks(t *testing.T) {
+	rep := &AttackReport{Risks: []float64{0.2, 0.5, 0.1}}
+	got := SortedRisks(rep)
+	if got[0] != 0.5 || got[2] != 0.1 {
+		t.Errorf("SortedRisks = %v", got)
+	}
+	// Input untouched.
+	if rep.Risks[0] != 0.2 {
+		t.Error("SortedRisks mutated input")
+	}
+}
+
+func TestExactMethodEngine(t *testing.T) {
+	// The engine accepts adaptive inference (exact for small groups,
+	// Ω for oversized ones); the pipeline must run end to end.
+	tab := adult.Generate(150, 9)
+	e, err := New(tab, adult.Hierarchies(), kernel.Epanechnikov{}, inference.Adaptive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{K: 3, L: 3, T: 0.25, B: 0.3}
+	res, err := e.AnonymizeModel(BTPrivacy, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bvec := kernel.UniformBandwidth(e.Table.Schema.D(), p.B)
+	rep, err := e.Attack(res, bvec, p.T, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Vulnerable != 0 {
+		t.Errorf("exact-method (B,t) release has %d vulnerable tuples at enforced B", rep.Vulnerable)
+	}
+}
+
+func TestTable5MatchesPaper(t *testing.T) {
+	want := []Params{
+		{K: 3, L: 3, T: 0.25, B: 0.3},
+		{K: 4, L: 4, T: 0.2, B: 0.3},
+		{K: 5, L: 5, T: 0.15, B: 0.3},
+		{K: 6, L: 6, T: 0.1, B: 0.3},
+	}
+	got := Table5()
+	if len(got) != len(want) {
+		t.Fatalf("Table5 has %d entries", len(got))
+	}
+	for i := range want {
+		if got[i].K != want[i].K || got[i].L != want[i].L ||
+			got[i].T != want[i].T || got[i].B != want[i].B {
+			t.Errorf("para%d = %+v, want %+v", i+1, got[i], want[i])
+		}
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	if DistinctLDiversity.String() != "distinct-l-diversity" ||
+		BTPrivacy.String() != "(B,t)-privacy" {
+		t.Error("model names drifted from the paper's")
+	}
+	if len(AllModels()) != 4 {
+		t.Error("AllModels should list the four evaluated models")
+	}
+}
+
+func TestRequirementUnknownModel(t *testing.T) {
+	e := testEngine(t, 100)
+	if _, err := e.Requirement(Model(99), Table5()[0]); err == nil {
+		t.Error("accepted unknown model")
+	}
+}
+
+func TestRequirementNames(t *testing.T) {
+	e := testEngine(t, 100)
+	p := Table5()[1]
+	req, err := e.Requirement(TCloseness, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(req.Name(), "4-anonymity") || !strings.Contains(req.Name(), "0.2-closeness") {
+		t.Errorf("name = %s", req.Name())
+	}
+}
+
+var _ privacy.Requirement = privacy.Skyline{} // interface conformance pin

@@ -1,0 +1,150 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ColumnSpec declares how to interpret one CSV column when loading a
+// table. Exactly one column must have Sensitive set.
+type ColumnSpec struct {
+	Name      string
+	Kind      Kind
+	Sensitive bool
+}
+
+// ReadCSV loads a microdata table from CSV. The first row must be a
+// header naming every column in specs (extra CSV columns are ignored).
+// Rows containing the missing-value marker "?" are dropped, mirroring
+// the paper's removal of Adult tuples with missing values. Attribute
+// domains are built from the values observed in the data.
+func ReadCSV(r io.Reader, specs []ColumnSpec) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
+	}
+	colAt := make([]int, len(specs))
+	for si, spec := range specs {
+		colAt[si] = -1
+		for ci, h := range header {
+			if h == spec.Name {
+				colAt[si] = ci
+				break
+			}
+		}
+		if colAt[si] < 0 {
+			return nil, fmt.Errorf("dataset: column %q not found in CSV header", spec.Name)
+		}
+	}
+
+	var rows [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: reading CSV: %w", err)
+		}
+		vals := make([]string, len(specs))
+		missing := false
+		for si := range specs {
+			v := rec[colAt[si]]
+			if v == "?" || v == "" {
+				missing = true
+				break
+			}
+			vals[si] = v
+		}
+		if !missing {
+			rows = append(rows, vals)
+		}
+	}
+
+	// Build domains from observed values.
+	attrs := make([]*Attribute, len(specs))
+	for si, spec := range specs {
+		if spec.Kind == Numeric {
+			var nums []float64
+			for _, row := range rows {
+				f, err := strconv.ParseFloat(row[si], 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: column %s value %q is not numeric: %w", spec.Name, row[si], err)
+				}
+				nums = append(nums, f)
+			}
+			attrs[si] = NewNumeric(spec.Name, nums)
+		} else {
+			seen := map[string]bool{}
+			var vals []string
+			for _, row := range rows {
+				if !seen[row[si]] {
+					seen[row[si]] = true
+					vals = append(vals, row[si])
+				}
+			}
+			attrs[si] = NewCategorical(spec.Name, vals)
+		}
+	}
+
+	schema := &Schema{}
+	sensAt := -1
+	for si, spec := range specs {
+		if spec.Sensitive {
+			if sensAt >= 0 {
+				return nil, fmt.Errorf("dataset: multiple sensitive columns (%s and %s)", specs[sensAt].Name, spec.Name)
+			}
+			sensAt = si
+			schema.Sensitive = attrs[si]
+		} else {
+			schema.QI = append(schema.QI, attrs[si])
+		}
+	}
+	if sensAt < 0 {
+		return nil, fmt.Errorf("dataset: no sensitive column declared")
+	}
+
+	t := &Table{Schema: schema}
+	for _, row := range rows {
+		rec := Record{QI: make([]int, 0, len(specs)-1)}
+		for si := range specs {
+			idx, ok := attrs[si].Index(row[si])
+			if !ok {
+				return nil, fmt.Errorf("dataset: value %q missing from domain of %s", row[si], specs[si].Name)
+			}
+			if si == sensAt {
+				rec.S = idx
+			} else {
+				rec.QI = append(rec.QI, idx)
+			}
+		}
+		t.Records = append(t.Records, rec)
+	}
+	return t, nil
+}
+
+// WriteCSV writes the table in the same column order as the schema:
+// QI attributes then the sensitive attribute.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	header := append(t.Schema.QINames(), t.Schema.Sensitive.Name)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("dataset: writing CSV header: %w", err)
+	}
+	row := make([]string, len(header))
+	for _, r := range t.Records {
+		for i, v := range r.QI {
+			row[i] = t.Schema.QI[i].Value(v)
+		}
+		row[len(row)-1] = t.Schema.Sensitive.Value(r.S)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Multiple sensitive attributes (§II-A): the paper's framework handles
+// them either separately — run the engine once per sensitive attribute
+// — or jointly, by treating the combination of values as one composite
+// sensitive attribute. This file implements the joint construction.
+
+// JointSeparator joins component values in composite labels. It must
+// not occur in either component's values.
+const JointSeparator = "⊗"
+
+// PromoteToJointSensitive returns a new table in which the named QI
+// attribute is removed from the quasi-identifier and its value is
+// folded into the sensitive attribute as a joint value
+// "<sensitive>⊗<promoted>". The joint domain contains only observed
+// combinations, ordered by (sensitive index, promoted index) so that
+// values sharing a sensitive component stay adjacent — which keeps
+// hierarchy-free distance matrices meaningful under Mondrian's
+// total-order treatment.
+//
+// The original table is not modified.
+func PromoteToJointSensitive(t *Table, attrName string) (*Table, error) {
+	ai := -1
+	for i, a := range t.Schema.QI {
+		if a.Name == attrName {
+			ai = i
+			break
+		}
+	}
+	if ai < 0 {
+		return nil, fmt.Errorf("dataset: no QI attribute named %q", attrName)
+	}
+	promoted := t.Schema.QI[ai]
+	sens := t.Schema.Sensitive
+
+	// Collect observed (sensitive, promoted) pairs.
+	type pair struct{ s, p int }
+	seen := map[pair]bool{}
+	for _, rec := range t.Records {
+		seen[pair{rec.S, rec.QI[ai]}] = true
+	}
+	pairs := make([]pair, 0, len(seen))
+	for pr := range seen {
+		pairs = append(pairs, pr)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].s != pairs[j].s {
+			return pairs[i].s < pairs[j].s
+		}
+		return pairs[i].p < pairs[j].p
+	})
+	jointIdx := make(map[pair]int, len(pairs))
+	values := make([]string, len(pairs))
+	for i, pr := range pairs {
+		jointIdx[pr] = i
+		values[i] = sens.Value(pr.s) + JointSeparator + promoted.Value(pr.p)
+	}
+
+	schema := &Schema{Sensitive: NewCategorical(sens.Name+JointSeparator+promoted.Name, values)}
+	for i, a := range t.Schema.QI {
+		if i != ai {
+			schema.QI = append(schema.QI, a)
+		}
+	}
+
+	out := &Table{Schema: schema, Records: make([]Record, 0, t.N())}
+	for _, rec := range t.Records {
+		qi := make([]int, 0, len(rec.QI)-1)
+		for i, v := range rec.QI {
+			if i != ai {
+				qi = append(qi, v)
+			}
+		}
+		out.Records = append(out.Records, Record{
+			QI: qi,
+			S:  jointIdx[pair{rec.S, rec.QI[ai]}],
+		})
+	}
+	return out, nil
+}
+
+// SplitJointValue decomposes a joint sensitive label back into its
+// (sensitive, promoted) components.
+func SplitJointValue(v string) (sensitive, promoted string, err error) {
+	for i := 0; i+len(JointSeparator) <= len(v); i++ {
+		if v[i:i+len(JointSeparator)] == JointSeparator {
+			return v[:i], v[i+len(JointSeparator):], nil
+		}
+	}
+	return "", "", fmt.Errorf("dataset: %q is not a joint sensitive value", v)
+}
+
+// MarginalCounts projects a joint sensitive histogram back onto the
+// original sensitive domain: counts[i] sums all joint values whose
+// sensitive component is origSensitive.Value(i).
+func MarginalCounts(joint *Attribute, origSensitive *Attribute, counts []int) ([]int, error) {
+	if len(counts) != joint.Size() {
+		return nil, fmt.Errorf("dataset: %d counts for joint domain of %d", len(counts), joint.Size())
+	}
+	out := make([]int, origSensitive.Size())
+	for j, c := range counts {
+		s, _, err := SplitJointValue(joint.Value(j))
+		if err != nil {
+			return nil, err
+		}
+		si, ok := origSensitive.Index(s)
+		if !ok {
+			return nil, fmt.Errorf("dataset: joint component %q not in original sensitive domain", s)
+		}
+		out[si] += c
+	}
+	return out, nil
+}

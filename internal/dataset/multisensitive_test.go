@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"testing"
+
+	"testing/quick"
+
+	"math/rand"
+)
+
+func TestPromoteToJointSensitive(t *testing.T) {
+	tab := paperTable()
+	joint, err := PromoteToJointSensitive(tab, "Sex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := joint.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if joint.Schema.D() != tab.Schema.D()-1 {
+		t.Fatalf("QI arity = %d, want %d", joint.Schema.D(), tab.Schema.D()-1)
+	}
+	if joint.N() != tab.N() {
+		t.Fatalf("N = %d", joint.N())
+	}
+	// Record 0 was (69, M, Emphysema): joint value "Emphysema⊗M".
+	got := joint.Schema.Sensitive.Value(joint.Records[0].S)
+	if got != "Emphysema"+JointSeparator+"M" {
+		t.Errorf("joint value = %q", got)
+	}
+	// Only observed combinations enter the domain.
+	for _, v := range joint.Schema.Sensitive.Values {
+		s, p, err := SplitJointValue(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, rec := range tab.Records {
+			if tab.Schema.Sensitive.Value(rec.S) == s && tab.Schema.QI[1].Value(rec.QI[1]) == p {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("joint domain contains unobserved combination %q", v)
+		}
+	}
+}
+
+func TestPromoteUnknownAttribute(t *testing.T) {
+	tab := paperTable()
+	if _, err := PromoteToJointSensitive(tab, "Nope"); err == nil {
+		t.Error("accepted unknown attribute")
+	}
+}
+
+func TestSplitJointValue(t *testing.T) {
+	s, p, err := SplitJointValue("Flu" + JointSeparator + "M")
+	if err != nil || s != "Flu" || p != "M" {
+		t.Errorf("split = %q %q %v", s, p, err)
+	}
+	if _, _, err := SplitJointValue("NotJoint"); err == nil {
+		t.Error("accepted non-joint value")
+	}
+}
+
+func TestMarginalCountsRecoverOriginal(t *testing.T) {
+	// The joint table's marginal histogram must equal the original
+	// table's sensitive histogram — promotion loses no information.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sch := testSchema()
+		tab := &Table{Schema: sch}
+		n := 5 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			tab.Records = append(tab.Records, Record{
+				QI: []int{rng.Intn(sch.QI[0].Size()), rng.Intn(2)},
+				S:  rng.Intn(4),
+			})
+		}
+		joint, err := PromoteToJointSensitive(tab, "Sex")
+		if err != nil {
+			return false
+		}
+		marg, err := MarginalCounts(joint.Schema.Sensitive, sch.Sensitive, joint.SensitiveCounts(nil))
+		if err != nil {
+			return false
+		}
+		orig := tab.SensitiveCounts(nil)
+		for i := range orig {
+			if marg[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJointTableAnonymizable(t *testing.T) {
+	// The joint table is a regular table: profiles, counts, validation
+	// all behave; the engine stack can consume it unchanged.
+	tab := paperTable()
+	joint, err := PromoteToJointSensitive(tab, "Sex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs := joint.Profiles()
+	total := 0
+	for _, p := range profs {
+		total += p.Weight()
+	}
+	if total != joint.N() {
+		t.Errorf("profile weights %d != N %d", total, joint.N())
+	}
+}

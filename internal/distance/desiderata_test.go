@@ -1,0 +1,94 @@
+package distance
+
+import (
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// TestPaperConformanceTable asserts the §IV-B argument as a table:
+// which desiderata each measure satisfies on the paper's witnesses.
+func TestPaperConformanceTable(t *testing.T) {
+	smoothed := NewSmoothedJS(sensMatrix, kernel.Epanechnikov{}, 0.6)
+	cases := []struct {
+		m    Measure
+		want map[Desideratum]bool
+	}{
+		{KLMeasure(), map[Desideratum]bool{
+			Identity:                    true,
+			NonNegativity:               true, // Gibbs: KL ≥ 0 (may be +Inf)
+			ProbabilityScaling:          true,
+			ZeroProbabilityDefinability: false, // the paper's §IV-B complaint
+			SemanticAwareness:           false,
+		}},
+		{JSMeasure(), map[Desideratum]bool{
+			Identity:                    true,
+			NonNegativity:               true,
+			ProbabilityScaling:          true,
+			ZeroProbabilityDefinability: true,
+			SemanticAwareness:           false, // the paper's §IV-B complaint
+		}},
+		{EMDMeasure(sensMatrix), map[Desideratum]bool{
+			Identity:                    true,
+			NonNegativity:               true,
+			ProbabilityScaling:          false, // the paper's §IV-B complaint
+			ZeroProbabilityDefinability: true,
+			SemanticAwareness:           true,
+		}},
+		{smoothed, map[Desideratum]bool{
+			Identity:                    true,
+			NonNegativity:               true,
+			ProbabilityScaling:          true,
+			ZeroProbabilityDefinability: true,
+			SemanticAwareness:           true, // all five — the paper's measure
+		}},
+	}
+	for _, c := range cases {
+		got := ConformanceTable(c.m)
+		for _, d := range AllDesiderata() {
+			if got[d] != c.want[d] {
+				t.Errorf("%s / %s = %v, want %v", c.m.Name(), d, got[d], c.want[d])
+			}
+		}
+	}
+}
+
+func TestHellingerBasics(t *testing.T) {
+	// Metric sanity plus conformance: Hellinger is zero-probability
+	// safe but semantics-blind.
+	m := HellingerMeasure()
+	if !Conformance(m, Identity) || !Conformance(m, NonNegativity) ||
+		!Conformance(m, ZeroProbabilityDefinability) {
+		t.Error("Hellinger fails basic desiderata")
+	}
+	if Conformance(m, SemanticAwareness) {
+		t.Error("Hellinger should be semantics-blind")
+	}
+	if d := Hellinger([]float64{1, 0}, []float64{0, 1}); d != 1 {
+		t.Errorf("Hellinger of disjoint = %g, want 1", d)
+	}
+}
+
+func TestTVMeasureConformance(t *testing.T) {
+	m := TVMeasure()
+	if !Conformance(m, Identity) || !Conformance(m, NonNegativity) ||
+		!Conformance(m, ZeroProbabilityDefinability) {
+		t.Error("TV fails basic desiderata")
+	}
+	// TV, like EMD with flat ground distance, has no probability
+	// scaling: both witnesses move exactly 0.1 of mass.
+	if Conformance(m, ProbabilityScaling) {
+		t.Error("TV should lack probability scaling")
+	}
+}
+
+func TestDesideratumStrings(t *testing.T) {
+	if len(AllDesiderata()) != 5 {
+		t.Fatal("the paper lists exactly five desiderata")
+	}
+	for _, d := range AllDesiderata() {
+		if d.String() == "unknown" {
+			t.Errorf("missing name for desideratum %d", int(d))
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package distance
+
+import (
+	"repro/internal/kernel"
+	"repro/internal/prob"
+)
+
+// SmoothedJS is the paper's distance measure (§IV-B.2): apply
+// Nadaraya–Watson kernel smoothing across the sensitive-attribute
+// domain — so that semantically close values share mass — and then take
+// the Jensen–Shannon divergence of the smoothed distributions.
+//
+// Smoothing weights are precomputed at construction:
+//
+//	p̂_i = Σ_j p_j K(d_ij; b) / Σ_j K(d_ij; b)
+//
+// where d is the sensitive attribute's semantic distance matrix. The
+// construction gives the measure all five desiderata: JS supplies
+// identity, non-negativity, probability scaling, and zero-probability
+// definability; the smoothing supplies semantic awareness.
+type SmoothedJS struct {
+	weights [][]float64 // row-normalized kernel weights
+	id      string
+}
+
+// NewSmoothedJS builds the measure from the sensitive distance matrix,
+// a kernel, and a bandwidth. The paper uses the Epanechnikov kernel
+// with bandwidth at least 0.5 for the height-2 Occupation hierarchy so
+// smoothing actually mixes sibling values.
+func NewSmoothedJS(m [][]float64, k kernel.Func, bandwidth float64) *SmoothedJS {
+	if k == nil {
+		k = kernel.Epanechnikov{}
+	}
+	n := len(m)
+	w := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = make([]float64, n)
+		rowSum := 0.0
+		for j := 0; j < n; j++ {
+			w[i][j] = k.Weight(m[i][j], bandwidth)
+			rowSum += w[i][j]
+		}
+		if rowSum == 0 {
+			// Degenerate bandwidth: keep the identity row so the measure
+			// falls back to plain JS rather than dividing by zero.
+			for j := range w[i] {
+				w[i][j] = 0
+			}
+			w[i][i] = 1
+			continue
+		}
+		for j := range w[i] {
+			w[i][j] /= rowSum
+		}
+	}
+	return &SmoothedJS{weights: w, id: "smoothedJS(" + k.Name() + ")"}
+}
+
+// Smooth returns the kernel-smoothed version of p.
+func (s *SmoothedJS) Smooth(p prob.Dist) prob.Dist {
+	n := len(s.weights)
+	out := make(prob.Dist, n)
+	for i := 0; i < n; i++ {
+		wi := s.weights[i]
+		acc := 0.0
+		for j := 0; j < n; j++ {
+			acc += p[j] * wi[j]
+		}
+		out[i] = acc
+	}
+	// Row-normalized smoothing does not exactly preserve total mass
+	// when rows mix unevenly; renormalize so JS gets distributions.
+	return out.Normalize()
+}
+
+// Distance implements Measure: JS divergence of the smoothed pair.
+func (s *SmoothedJS) Distance(p, q prob.Dist) float64 {
+	return JS(s.Smooth(p), s.Smooth(q))
+}
+
+// Name implements Measure.
+func (s *SmoothedJS) Name() string { return s.id }

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestAblationKernels(t *testing.T) {
+	r := newTestRunner(t)
+	rep, err := r.AblationKernels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != len(r.Cfg.BPrimes) {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Fatalf("unparsable cell %q", cell)
+			}
+			if v < 0 || v > 1 {
+				t.Errorf("TV %g out of [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestAblationInference(t *testing.T) {
+	r := newTestRunner(t)
+	rep, err := r.AblationInference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d, want omega + adaptive", len(rep.Rows))
+	}
+	// Ω row is the certification method: zero vulnerable by construction.
+	if rep.Rows[0][0] != "omega" {
+		t.Fatalf("first row = %v", rep.Rows[0])
+	}
+	if rep.Rows[0][1] != "0" {
+		t.Errorf("omega vulnerable = %s, want 0 (release was certified with it)", rep.Rows[0][1])
+	}
+	// Engine method restored after the ablation.
+	if r.Engine.Method.Name() != "omega" {
+		t.Errorf("engine method leaked: %s", r.Engine.Method.Name())
+	}
+}
+
+func TestAblationInjector(t *testing.T) {
+	r := newTestRunner(t)
+	rep, err := r.AblationInjector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		maxTV, _ := strconv.ParseFloat(row[2], 64)
+		meanTV, _ := strconv.ParseFloat(row[3], 64)
+		if meanTV > maxTV {
+			t.Errorf("mean TV %g exceeds max TV %g", meanTV, maxTV)
+		}
+	}
+}
+
+func TestAblationSmoothing(t *testing.T) {
+	r := newTestRunner(t)
+	rep, err := r.AblationSmoothing()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean risk must be monotone non-increasing in the smoothing
+	// bandwidth — the claim the ablation exists to demonstrate.
+	prev := 2.0
+	for _, row := range rep.Rows {
+		mean, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("unparsable cell %q", row[1])
+		}
+		if mean > prev+1e-9 {
+			t.Errorf("mean risk %g rose from %g as smoothing widened", mean, prev)
+		}
+		prev = mean
+	}
+}

@@ -1,0 +1,150 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation (§V) as a text table with the same axes and series. Scale
+// is configurable: DefaultConfig runs laptop-quick subsets, and
+// PaperConfig matches the paper's ~30K-tuple Adult workload and full
+// parameter grids. The reproduced artifact is the *shape* of each
+// figure — orderings, trends, crossovers — not the authors' absolute
+// numbers, which depended on their Java implementation and hardware.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/adult"
+	"repro/internal/anonymize"
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// Config scales and seeds the experiment suite.
+type Config struct {
+	// N is the table size (paper: ≈30K valid Adult tuples).
+	N int
+	// Seed drives the synthetic data generator and query sampling.
+	Seed int64
+	// Trials is the repetition count for Figure 2 (paper: 100).
+	Trials int
+	// Queries per workload point for Figure 6 (paper-style: 1000).
+	Queries int
+	// BPrimes are the adversary bandwidths b' (paper: 0.2..0.5).
+	BPrimes []float64
+	// Fig3aStep is the granularity of the b sweep in Figure 3(a)
+	// (paper: 0.025 over [0.2, 0.5]).
+	Fig3aStep float64
+	// Fig4bSizes are the input sizes of Figure 4(b) (paper: 10K..25K).
+	Fig4bSizes []int
+	// GroupSizes are Figure 2's N values.
+	GroupSizes []int
+}
+
+// DefaultConfig is a quick configuration: the same axes as the paper at
+// a table size that keeps the full suite within a couple of minutes.
+func DefaultConfig() Config {
+	return Config{
+		N:          2000,
+		Seed:       42,
+		Trials:     30,
+		Queries:    200,
+		BPrimes:    []float64{0.2, 0.3, 0.4, 0.5},
+		Fig3aStep:  0.05,
+		Fig4bSizes: []int{1000, 2000, 3000, 4000},
+		GroupSizes: []int{3, 5, 8, 10, 15},
+	}
+}
+
+// PaperConfig reproduces the paper's scales: a ≈30K-tuple table, 100
+// trials, 0.025 bandwidth steps, and 10K–25K kernel-timing inputs.
+func PaperConfig() Config {
+	c := DefaultConfig()
+	c.N = 30000
+	c.Trials = 100
+	c.Queries = 1000
+	c.Fig3aStep = 0.025
+	c.Fig4bSizes = []int{10000, 15000, 20000, 25000}
+	return c
+}
+
+// Report is one regenerated figure: a titled table of rows.
+type Report struct {
+	ID     string // e.g. "fig1a"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	tw := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(r.Header, "\t"))
+	for _, row := range r.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	if r.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", r.Notes)
+	}
+	return b.String()
+}
+
+// CSV renders the report as comma-separated values.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Header, ","))
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Runner owns the dataset, the engine, and a cache of anonymized
+// tables so figures sharing the same releases do not recompute them.
+type Runner struct {
+	Cfg    Config
+	Table  *dataset.Table
+	Engine *core.Engine
+
+	anonCache map[string]*timedResult
+}
+
+type timedResult struct {
+	res     *anonymize.Result
+	seconds float64
+}
+
+// NewRunner generates the dataset and builds the engine.
+func NewRunner(cfg Config) (*Runner, error) {
+	table := adult.Generate(cfg.N, cfg.Seed)
+	eng, err := core.New(table, adult.Hierarchies(), nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Cfg: cfg, Table: table, Engine: eng, anonCache: map[string]*timedResult{}}, nil
+}
+
+// All regenerates every figure in paper order.
+func (r *Runner) All() ([]*Report, error) {
+	type step func() (*Report, error)
+	steps := []step{r.Fig1a, r.Fig1b, r.Fig2, r.Fig3a, r.Fig3b, r.Fig4a, r.Fig4b, r.Fig5a, r.Fig5b, r.Fig6a, r.Fig6b}
+	var out []*Report
+	for _, s := range steps {
+		rep, err := s()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// fmtF renders a float compactly for report cells.
+func fmtF(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// fmtI renders an int for report cells.
+func fmtI(v int) string { return fmt.Sprintf("%d", v) }

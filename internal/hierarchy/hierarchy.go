@@ -1,0 +1,241 @@
+// Package hierarchy implements domain generalization hierarchies for
+// categorical attributes. The paper uses them in two places (§II-C):
+// the semantic distance between two categorical values is
+// h(LCA)/H, the height of their lowest common ancestor divided by the
+// hierarchy height; and generalization replaces a set of values with
+// their lowest common ancestor's label.
+package hierarchy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is one vertex of a generalization hierarchy. Leaves are domain
+// values; internal nodes are generalized labels.
+type Node struct {
+	Label    string
+	Children []*Node
+
+	parent *Node
+	depth  int // root = 0
+}
+
+// Parent returns the node's parent, nil for the root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// Depth returns the node's distance from the root.
+func (n *Node) Depth() int { return n.depth }
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Hierarchy is a rooted tree over a categorical domain. Every domain
+// value must appear as exactly one leaf.
+type Hierarchy struct {
+	Root   *Node
+	leaves map[string]*Node
+	height int
+}
+
+// N builds a node; a convenience for literal hierarchy construction.
+func N(label string, children ...*Node) *Node {
+	return &Node{Label: label, Children: children}
+}
+
+// New finalizes a hierarchy rooted at root: it computes depths, indexes
+// leaves, and validates uniqueness of leaf labels.
+func New(root *Node) (*Hierarchy, error) {
+	h := &Hierarchy{Root: root, leaves: map[string]*Node{}}
+	var walk func(n *Node, depth int) error
+	walk = func(n *Node, depth int) error {
+		n.depth = depth
+		if depth > h.height {
+			h.height = depth
+		}
+		if n.IsLeaf() {
+			if _, dup := h.leaves[n.Label]; dup {
+				return fmt.Errorf("hierarchy: duplicate leaf %q", n.Label)
+			}
+			h.leaves[n.Label] = n
+			return nil
+		}
+		for _, c := range n.Children {
+			c.parent = n
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root, 0); err != nil {
+		return nil, err
+	}
+	if h.height == 0 {
+		return nil, fmt.Errorf("hierarchy: root %q has no children", root.Label)
+	}
+	return h, nil
+}
+
+// MustNew is New that panics on error, for statically known hierarchies.
+func MustNew(root *Node) *Hierarchy {
+	h, err := New(root)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Flat builds the trivial height-1 hierarchy: every value directly under
+// a root labeled rootLabel. Under Flat, any two distinct values have
+// normalized distance 1.
+func Flat(rootLabel string, values []string) *Hierarchy {
+	children := make([]*Node, len(values))
+	for i, v := range values {
+		children[i] = N(v)
+	}
+	return MustNew(N(rootLabel, children...))
+}
+
+// Height returns the hierarchy height H (root to deepest leaf).
+func (h *Hierarchy) Height() int { return h.height }
+
+// Leaves returns the leaf labels in depth-first order. This order is a
+// natural total order for Mondrian-style range splits: values in the
+// same subtree are adjacent.
+func (h *Hierarchy) Leaves() []string {
+	var out []string
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.IsLeaf() {
+			out = append(out, n.Label)
+			return
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(h.Root)
+	return out
+}
+
+// Leaf returns the leaf node for a domain value.
+func (h *Hierarchy) Leaf(value string) (*Node, bool) {
+	n, ok := h.leaves[value]
+	return n, ok
+}
+
+// LCA returns the lowest common ancestor of two leaves.
+func (h *Hierarchy) LCA(a, b string) (*Node, error) {
+	na, ok := h.leaves[a]
+	if !ok {
+		return nil, fmt.Errorf("hierarchy: unknown value %q", a)
+	}
+	nb, ok := h.leaves[b]
+	if !ok {
+		return nil, fmt.Errorf("hierarchy: unknown value %q", b)
+	}
+	for na.depth > nb.depth {
+		na = na.parent
+	}
+	for nb.depth > na.depth {
+		nb = nb.parent
+	}
+	for na != nb {
+		na, nb = na.parent, nb.parent
+	}
+	return na, nil
+}
+
+// LCAOf returns the lowest common ancestor node of a non-empty set of
+// leaf values: the node that generalizes all of them.
+func (h *Hierarchy) LCAOf(values []string) (*Node, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("hierarchy: LCAOf of empty set")
+	}
+	cur, ok := h.leaves[values[0]]
+	if !ok {
+		return nil, fmt.Errorf("hierarchy: unknown value %q", values[0])
+	}
+	var node *Node = cur
+	for _, v := range values[1:] {
+		n, err := h.LCA(node.Label, v)
+		if err != nil {
+			// node may be internal; climb manually instead.
+			leaf, ok := h.leaves[v]
+			if !ok {
+				return nil, fmt.Errorf("hierarchy: unknown value %q", v)
+			}
+			n = commonAncestor(node, leaf)
+		}
+		node = n
+	}
+	return node, nil
+}
+
+func commonAncestor(a, b *Node) *Node {
+	for a.depth > b.depth {
+		a = a.parent
+	}
+	for b.depth > a.depth {
+		b = b.parent
+	}
+	for a != b {
+		a, b = a.parent, b.parent
+	}
+	return a
+}
+
+// Distance returns the paper's semantic distance h(LCA(a,b))/H, where
+// h(n) is the height of node n above the leaves at maximum depth —
+// i.e. H - depth(n) — so identical values have distance 0 and values
+// joined only at the root have distance 1.
+func (h *Hierarchy) Distance(a, b string) (float64, error) {
+	if a == b {
+		return 0, nil
+	}
+	lca, err := h.LCA(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return float64(h.height-lca.depth) / float64(h.height), nil
+}
+
+// DistanceMatrix builds the r×r matrix M where M[i][j] is the semantic
+// distance between values[i] and values[j] (§II-C). All values must be
+// leaves of the hierarchy.
+func (h *Hierarchy) DistanceMatrix(values []string) ([][]float64, error) {
+	r := len(values)
+	m := make([][]float64, r)
+	for i := range m {
+		m[i] = make([]float64, r)
+		for j := range m[i] {
+			if i == j {
+				continue
+			}
+			d, err := h.Distance(values[i], values[j])
+			if err != nil {
+				return nil, err
+			}
+			m[i][j] = d
+		}
+	}
+	return m, nil
+}
+
+// String renders the hierarchy as an indented tree, for documentation
+// and debugging.
+func (h *Hierarchy) String() string {
+	var b strings.Builder
+	var walk func(n *Node, indent int)
+	walk = func(n *Node, indent int) {
+		b.WriteString(strings.Repeat("  ", indent))
+		b.WriteString(n.Label)
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, indent+1)
+		}
+	}
+	walk(h.Root, 0)
+	return b.String()
+}

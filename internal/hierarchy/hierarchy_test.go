@@ -1,0 +1,171 @@
+package hierarchy
+
+import (
+	"strings"
+	"testing"
+)
+
+// disease builds a small height-2 hierarchy:
+//
+//	*
+//	├── Respiratory: Flu, Emphysema
+//	└── Other: Cancer, Gastritis
+func disease() *Hierarchy {
+	return MustNew(N("*",
+		N("Respiratory", N("Flu"), N("Emphysema")),
+		N("Other", N("Cancer"), N("Gastritis")),
+	))
+}
+
+func TestHeightAndLeaves(t *testing.T) {
+	h := disease()
+	if h.Height() != 2 {
+		t.Fatalf("Height = %d, want 2", h.Height())
+	}
+	got := h.Leaves()
+	want := []string{"Flu", "Emphysema", "Cancer", "Gastritis"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("Leaves = %v, want %v", got, want)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	h := disease()
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"Flu", "Flu", 0},
+		{"Flu", "Emphysema", 0.5},
+		{"Flu", "Cancer", 1},
+		{"Cancer", "Gastritis", 0.5},
+	}
+	for _, c := range cases {
+		d, err := h.Distance(c.a, c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != c.want {
+			t.Errorf("Distance(%s,%s) = %g, want %g", c.a, c.b, d, c.want)
+		}
+		// Symmetry.
+		d2, _ := h.Distance(c.b, c.a)
+		if d2 != d {
+			t.Errorf("Distance not symmetric for (%s,%s)", c.a, c.b)
+		}
+	}
+}
+
+func TestDistanceUnknownValue(t *testing.T) {
+	if _, err := disease().Distance("Flu", "Nope"); err == nil {
+		t.Error("accepted unknown value")
+	}
+}
+
+func TestDistanceMatrix(t *testing.T) {
+	h := disease()
+	vals := []string{"Flu", "Emphysema", "Cancer", "Gastritis"}
+	m, err := h.DistanceMatrix(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if m[i][i] != 0 {
+			t.Errorf("diagonal not zero at %d", i)
+		}
+		for j := range vals {
+			if m[i][j] != m[j][i] {
+				t.Errorf("matrix asymmetric at (%d,%d)", i, j)
+			}
+			if m[i][j] < 0 || m[i][j] > 1 {
+				t.Errorf("distance out of [0,1]: %g", m[i][j])
+			}
+		}
+	}
+	if m[0][1] != 0.5 || m[0][2] != 1 {
+		t.Errorf("unexpected distances: %v", m)
+	}
+}
+
+func TestLCA(t *testing.T) {
+	h := disease()
+	lca, err := h.LCA("Flu", "Emphysema")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lca.Label != "Respiratory" {
+		t.Errorf("LCA = %s, want Respiratory", lca.Label)
+	}
+	lca, _ = h.LCA("Flu", "Cancer")
+	if lca.Label != "*" {
+		t.Errorf("LCA = %s, want *", lca.Label)
+	}
+}
+
+func TestLCAOf(t *testing.T) {
+	h := disease()
+	n, err := h.LCAOf([]string{"Flu", "Emphysema"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Label != "Respiratory" {
+		t.Errorf("LCAOf = %s", n.Label)
+	}
+	n, _ = h.LCAOf([]string{"Flu"})
+	if n.Label != "Flu" {
+		t.Errorf("LCAOf singleton = %s", n.Label)
+	}
+	n, _ = h.LCAOf([]string{"Flu", "Emphysema", "Cancer"})
+	if n.Label != "*" {
+		t.Errorf("LCAOf mixed = %s", n.Label)
+	}
+	if _, err := h.LCAOf(nil); err == nil {
+		t.Error("LCAOf accepted empty set")
+	}
+}
+
+func TestFlat(t *testing.T) {
+	h := Flat("*", []string{"a", "b", "c"})
+	if h.Height() != 1 {
+		t.Fatalf("Height = %d", h.Height())
+	}
+	d, _ := h.Distance("a", "b")
+	if d != 1 {
+		t.Errorf("flat distance = %g, want 1", d)
+	}
+}
+
+func TestUnevenDepths(t *testing.T) {
+	// Leaves at different depths: x at depth 1, a/b at depth 2.
+	h := MustNew(N("*", N("x"), N("g", N("a"), N("b"))))
+	if h.Height() != 2 {
+		t.Fatalf("Height = %d", h.Height())
+	}
+	d, err := h.Distance("a", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Errorf("Distance(a,x) = %g, want 1 (root LCA)", d)
+	}
+	d, _ = h.Distance("a", "b")
+	if d != 0.5 {
+		t.Errorf("Distance(a,b) = %g, want 0.5", d)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(N("*", N("a"), N("a"))); err == nil {
+		t.Error("accepted duplicate leaves")
+	}
+	if _, err := New(N("lonely")); err == nil {
+		t.Error("accepted childless root")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := disease().String()
+	if !strings.Contains(s, "Respiratory") || !strings.Contains(s, "  Flu") {
+		t.Errorf("String output missing structure:\n%s", s)
+	}
+}

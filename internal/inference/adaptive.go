@@ -1,0 +1,54 @@
+package inference
+
+import (
+	"errors"
+
+	"repro/internal/prob"
+)
+
+// Adaptive computes exact posteriors when the group is small enough
+// and falls back to the Ω-estimate when exact inference would exceed
+// the state bound — the practical deployment of §III: exact inference
+// is #P-hard in general, and the Ω-estimate is the paper's linear-time
+// stand-in for exactly the groups where exactness is unaffordable.
+type Adaptive struct {
+	// MaxStates overrides MaxExactStates when positive.
+	MaxStates int
+}
+
+// Name implements Method.
+func (Adaptive) Name() string { return "adaptive" }
+
+// Posteriors implements Method.
+func (a Adaptive) Posteriors(priors []prob.Dist, counts []int) []prob.Dist {
+	if a.feasible(counts) {
+		if posts, err := ExactPosteriors(priors, counts); err == nil {
+			return posts
+		} else if !errors.Is(err, ErrTooLarge) {
+			// Inconsistent priors (zero likelihood): Ω still produces a
+			// defensible estimate under the random-world assumption.
+			return Omega{}.Posteriors(priors, counts)
+		}
+	}
+	return Omega{}.Posteriors(priors, counts)
+}
+
+// feasible pre-checks the DP state count so the common oversized case
+// skips straight to Ω without attempting allocation.
+func (a Adaptive) feasible(counts []int) bool {
+	limit := a.MaxStates
+	if limit <= 0 {
+		limit = MaxExactStates
+	}
+	states := 1
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		states *= c + 1
+		if states > limit {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package inference
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/prob"
+)
+
+func TestAdaptiveMatchesExactWhenFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		k := 2 + rng.Intn(6)
+		m := 2 + rng.Intn(4)
+		priors := make([]prob.Dist, k)
+		svals := make([]int, k)
+		for j := range priors {
+			priors[j] = randomDist(rng, m)
+			svals[j] = rng.Intn(m)
+		}
+		counts := GroupCounts(svals, m)
+		got := Adaptive{}.Posteriors(priors, counts)
+		want, err := ExactPosteriors(priors, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if !prob.Equal(got[j], want[j], 1e-12) {
+				t.Fatalf("trial %d tuple %d: adaptive %v != exact %v", trial, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestAdaptiveFallsBackOnLargeGroups(t *testing.T) {
+	// 60 tuples with distinct values: 2^60 states — must take the Ω
+	// path rather than attempting the DP.
+	k := 60
+	priors := make([]prob.Dist, k)
+	svals := make([]int, k)
+	for j := range priors {
+		priors[j] = prob.Uniform(k)
+		svals[j] = j
+	}
+	counts := GroupCounts(svals, k)
+	got := Adaptive{}.Posteriors(priors, counts)
+	want := Omega{}.Posteriors(priors, counts)
+	for j := range want {
+		if !prob.Equal(got[j], want[j], 0) {
+			t.Fatalf("tuple %d: adaptive differs from Ω fallback", j)
+		}
+	}
+}
+
+func TestAdaptiveMaxStatesOverride(t *testing.T) {
+	// With MaxStates = 1, even a tiny group takes the Ω path.
+	priors := paperPriors()
+	counts := paperCounts()
+	got := Adaptive{MaxStates: 1}.Posteriors(priors, counts)
+	want := Omega{}.Posteriors(priors, counts)
+	for j := range want {
+		if !prob.Equal(got[j], want[j], 0) {
+			t.Fatalf("tuple %d: MaxStates override ignored", j)
+		}
+	}
+}
+
+func TestAdaptiveInconsistentPriors(t *testing.T) {
+	// Zero-likelihood groups (priors forbid every assignment) fall back
+	// to Ω instead of erroring.
+	priors := []prob.Dist{{0, 1}, {0, 1}}
+	counts := []int{2, 0} // both tuples must take value 0, priors say never
+	got := Adaptive{}.Posteriors(priors, counts)
+	if len(got) != 2 {
+		t.Fatalf("posteriors = %v", got)
+	}
+	for _, p := range got {
+		if p.Validate() != nil {
+			t.Errorf("invalid fallback posterior %v", p)
+		}
+	}
+}

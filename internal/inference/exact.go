@@ -1,0 +1,229 @@
+package inference
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/prob"
+)
+
+// MaxExactStates bounds the forward/backward DP state space. A group of
+// k tuples with r distinct sensitive values has at most Π(n_i+1) ≤ 2^k
+// states; the default bound admits k well past the paper's N = 15
+// experiments while refusing degenerate inputs that would thrash memory.
+const MaxExactStates = 1 << 22
+
+// ErrTooLarge reports a group whose exact posterior computation would
+// exceed MaxExactStates.
+var ErrTooLarge = errors.New("inference: group too large for exact inference")
+
+// Exact computes exact posteriors by Bayesian inference over all
+// assignments between the group's tuples and its sensitive multiset
+// (Eq. 3/4). The likelihood P(S|E) is a permanent; we evaluate it and
+// every leave-one-out permanent with a forward/backward DP over
+// remaining-value counts:
+//
+//	f[j][c] = weight of assigning tuples 0..j-1, leaving counts c
+//	b[j][c] = weight of assigning tuples j..k-1, consuming exactly c
+//	P*(s_i|t_j) ∝ Σ_{c: c_i>0} f[j][c] · P(s_i|t_j) · b[j+1][c−e_i]
+//
+// Cost is O(k · states · r) time and O(k · states) space.
+type Exact struct{}
+
+// Name implements Method.
+func (Exact) Name() string { return "exact" }
+
+// Posteriors implements Method. It panics if the group exceeds
+// MaxExactStates; callers choosing between methods should use
+// ExactPosteriors and handle ErrTooLarge.
+func (Exact) Posteriors(priors []prob.Dist, counts []int) []prob.Dist {
+	out, err := ExactPosteriors(priors, counts)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ExactPosteriors is Exact.Posteriors with explicit error reporting.
+func ExactPosteriors(priors []prob.Dist, counts []int) ([]prob.Dist, error) {
+	k := len(priors)
+	if k == 0 {
+		return nil, nil
+	}
+	m := len(counts)
+
+	// Compress to the values present in the group.
+	var vals []int // sensitive domain indexes present
+	var n []int    // their counts
+	total := 0
+	for i, c := range counts {
+		if c > 0 {
+			vals = append(vals, i)
+			n = append(n, c)
+			total += c
+		}
+	}
+	if total != k {
+		return nil, fmt.Errorf("inference: counts sum to %d but group has %d tuples", total, k)
+	}
+	r := len(vals)
+
+	// Mixed-radix encoding of remaining-count vectors.
+	radix := make([]int, r)
+	states := 1
+	for i, ni := range n {
+		radix[i] = states
+		states *= ni + 1
+		if states > MaxExactStates {
+			return nil, fmt.Errorf("%w: %d tuples, %d distinct values", ErrTooLarge, k, r)
+		}
+	}
+	full := 0
+	for i, ni := range n {
+		full += ni * radix[i]
+	}
+
+	// pr[j][i] = prior of tuple j on present value i.
+	pr := make([][]float64, k)
+	for j, p := range priors {
+		pr[j] = make([]float64, r)
+		for i, v := range vals {
+			pr[j][i] = p[v]
+		}
+	}
+
+	// Forward: f[j] maps state -> weight of assigning tuples 0..j-1
+	// starting from full counts. States unreachable stay 0.
+	f := make([][]float64, k+1)
+	f[0] = make([]float64, states)
+	f[0][full] = 1
+	for j := 0; j < k; j++ {
+		cur, nxt := f[j], make([]float64, states)
+		digits := make([]int, r)
+		for s, w := range cur {
+			if w == 0 {
+				continue
+			}
+			decode(s, radix, n, digits)
+			for i := 0; i < r; i++ {
+				if digits[i] > 0 && pr[j][i] > 0 {
+					nxt[s-radix[i]] += w * pr[j][i]
+				}
+			}
+		}
+		f[j+1] = nxt
+	}
+	totalWeight := f[k][0]
+	if totalWeight == 0 {
+		return nil, fmt.Errorf("inference: zero likelihood — priors are inconsistent with the group's sensitive values")
+	}
+
+	// Backward: b[j] maps state -> weight of tuples j..k-1 consuming
+	// exactly that state's counts.
+	b := make([][]float64, k+1)
+	b[k] = make([]float64, states)
+	b[k][0] = 1
+	for j := k - 1; j >= 0; j-- {
+		cur, prv := make([]float64, states), b[j+1]
+		digits := make([]int, r)
+		for s, w := range prv {
+			if w == 0 {
+				continue
+			}
+			decode(s, radix, n, digits)
+			for i := 0; i < r; i++ {
+				if digits[i] < n[i] && pr[j][i] > 0 {
+					cur[s+radix[i]] += w * pr[j][i]
+				}
+			}
+		}
+		b[j] = cur
+	}
+
+	out := make([]prob.Dist, k)
+	digits := make([]int, r)
+	for j := 0; j < k; j++ {
+		post := make(prob.Dist, m)
+		for s, wf := range f[j] {
+			if wf == 0 {
+				continue
+			}
+			decode(s, radix, n, digits)
+			for i := 0; i < r; i++ {
+				if digits[i] > 0 && pr[j][i] > 0 {
+					post[vals[i]] += wf * pr[j][i] * b[j+1][s-radix[i]]
+				}
+			}
+		}
+		for i := range post {
+			post[i] /= totalWeight
+		}
+		out[j] = post.Normalize()
+	}
+	return out, nil
+}
+
+// decode writes the mixed-radix digits of state s into out.
+func decode(s int, radix, n []int, out []int) {
+	for i := len(radix) - 1; i >= 0; i-- {
+		out[i] = s / radix[i] % (n[i] + 1)
+	}
+}
+
+// GroupLikelihood returns P(S|E): the total weight of all assignments
+// between tuples and the sensitive multiset, each distinct value
+// mapping counted once. It is perm(M)/Π n_i! for the k×k prior matrix.
+func GroupLikelihood(priors []prob.Dist, counts []int) (float64, error) {
+	k := len(priors)
+	if k == 0 {
+		return 1, nil
+	}
+	var vals, n []int
+	total := 0
+	for i, c := range counts {
+		if c > 0 {
+			vals = append(vals, i)
+			n = append(n, c)
+			total += c
+		}
+	}
+	if total != k {
+		return 0, fmt.Errorf("inference: counts sum to %d but group has %d tuples", total, k)
+	}
+	r := len(vals)
+	radix := make([]int, r)
+	states := 1
+	for i, ni := range n {
+		radix[i] = states
+		states *= ni + 1
+		if states > MaxExactStates {
+			return 0, fmt.Errorf("%w: %d tuples, %d distinct values", ErrTooLarge, k, r)
+		}
+	}
+	full := 0
+	for i, ni := range n {
+		full += ni * radix[i]
+	}
+	cur := make([]float64, states)
+	cur[full] = 1
+	digits := make([]int, r)
+	for j := 0; j < k; j++ {
+		nxt := make([]float64, states)
+		for s, w := range cur {
+			if w == 0 {
+				continue
+			}
+			decode(s, radix, n, digits)
+			for i := 0; i < r; i++ {
+				if digits[i] > 0 {
+					p := priors[j][vals[i]]
+					if p > 0 {
+						nxt[s-radix[i]] += w * p
+					}
+				}
+			}
+		}
+		cur = nxt
+	}
+	return cur[0], nil
+}

@@ -1,0 +1,158 @@
+package inference
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prob"
+)
+
+// Additional cross-method invariants, property-tested.
+
+func TestOmegaInvariantUnderTupleOrder(t *testing.T) {
+	// Reordering the tuples of a group must permute the posteriors the
+	// same way and change nothing else — for both methods.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(6)
+		m := 2 + rng.Intn(4)
+		priors := make([]prob.Dist, k)
+		svals := make([]int, k)
+		for j := range priors {
+			priors[j] = randomDist(rng, m)
+			svals[j] = rng.Intn(m)
+		}
+		perm := rng.Perm(k)
+		permPriors := make([]prob.Dist, k)
+		permSvals := make([]int, k)
+		for j, p := range perm {
+			permPriors[j] = priors[p]
+			permSvals[j] = svals[p]
+		}
+		counts := GroupCounts(svals, m)
+		for _, method := range []Method{Omega{}, Exact{}} {
+			base := method.Posteriors(priors, counts)
+			shuf := method.Posteriors(permPriors, GroupCounts(permSvals, m))
+			for j, p := range perm {
+				if !prob.Equal(shuf[j], base[p], 1e-9) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPosteriorSupportWithinGroupValues(t *testing.T) {
+	// No posterior may assign mass to a sensitive value absent from
+	// the group's published multiset — the adversary knows the exact
+	// multiset (§III-A).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(6)
+		m := 3 + rng.Intn(4)
+		priors := make([]prob.Dist, k)
+		svals := make([]int, k)
+		for j := range priors {
+			priors[j] = randomDist(rng, m)
+			svals[j] = rng.Intn(m - 1) // value m-1 never appears
+		}
+		counts := GroupCounts(svals, m)
+		for _, method := range []Method{Omega{}, Exact{}, Adaptive{}} {
+			for _, post := range method.Posteriors(priors, counts) {
+				if post[m-1] != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactSharpensTowardTruthOnAverage(t *testing.T) {
+	// Averaged over a group, exact posteriors assign the true value at
+	// least as much probability as priors do in expectation — Bayesian
+	// updating with the correct likelihood cannot lose information.
+	rng := rand.New(rand.NewSource(31))
+	trials, gain := 0, 0.0
+	for trial := 0; trial < 200; trial++ {
+		k := 3 + rng.Intn(5)
+		m := 3 + rng.Intn(3)
+		priors := make([]prob.Dist, k)
+		svals := make([]int, k)
+		for j := range priors {
+			priors[j] = randomDist(rng, m)
+			// Draw the truth from the prior so the model is well
+			// specified.
+			svals[j] = drawFrom(rng, priors[j])
+		}
+		counts := GroupCounts(svals, m)
+		posts, err := ExactPosteriors(priors, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range posts {
+			gain += posts[j][svals[j]] - priors[j][svals[j]]
+		}
+		trials += k
+	}
+	if avg := gain / float64(trials); avg <= 0 {
+		t.Errorf("average truth-probability gain = %g, want positive", avg)
+	}
+}
+
+func drawFrom(rng *rand.Rand, d prob.Dist) int {
+	u := rng.Float64()
+	for i, p := range d {
+		u -= p
+		if u <= 0 {
+			return i
+		}
+	}
+	return len(d) - 1
+}
+
+func TestOmegaExactAgreementShrinksWithGroupSize(t *testing.T) {
+	// The random-world assumption behind Ω gets better as groups grow;
+	// mean per-tuple TV between Ω and exact posteriors should not
+	// explode with k (regression guard on Figure 2's premise).
+	rng := rand.New(rand.NewSource(37))
+	meanTV := func(k int) float64 {
+		total, n := 0.0, 0
+		for trial := 0; trial < 40; trial++ {
+			m := 4
+			priors := make([]prob.Dist, k)
+			svals := make([]int, k)
+			for j := range priors {
+				priors[j] = randomDist(rng, m)
+				svals[j] = rng.Intn(m)
+			}
+			counts := GroupCounts(svals, m)
+			ex, err := ExactPosteriors(priors, counts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			om := Omega{}.Posteriors(priors, counts)
+			for j := range ex {
+				total += prob.TotalVariation(ex[j], om[j])
+				n++
+			}
+		}
+		return total / float64(n)
+	}
+	small, large := meanTV(3), meanTV(12)
+	if math.IsNaN(small) || math.IsNaN(large) {
+		t.Fatal("NaN TV")
+	}
+	if large > small*1.5 {
+		t.Errorf("Ω-exact divergence grew with group size: k=3 %g vs k=12 %g", small, large)
+	}
+}

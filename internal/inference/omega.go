@@ -1,0 +1,72 @@
+// Package inference computes the adversary's posterior belief over an
+// anonymized group (§III). Given the group's prior beliefs and the
+// multiset S of sensitive values published for the group, it answers:
+// with what probability does tuple t_j take value s_i?
+//
+// Two methods are provided. Exact implements the general Bayesian
+// formula (Eq. 3/4), whose normalizing constant is a matrix permanent —
+// #P-complete in general, computed here exactly with a forward/backward
+// dynamic program over remaining value counts, feasible for the small
+// group sizes anonymization produces. Omega implements the paper's
+// linear-time Ω-estimate (Eq. 5), a generalization of Lakshmanan et
+// al.'s O-estimate under the random-world assumption.
+package inference
+
+import "repro/internal/prob"
+
+// Method computes posteriors for a group from priors and the group's
+// sensitive-value counts (a histogram over the full sensitive domain;
+// counts must sum to len(priors)).
+type Method interface {
+	Posteriors(priors []prob.Dist, counts []int) []prob.Dist
+	Name() string
+}
+
+// Omega is the Ω-estimate (Eq. 5):
+//
+//	Ω(s_i|t_j) ∝ n_i · P(s_i|t_j) / Σ_j' P(s_i|t_j')
+//
+// normalized per tuple. It is exact when all tuples share the same
+// prior and is empirically within 0.1 of exact inference on real data
+// (§V-B); it runs in O(k·m).
+type Omega struct{}
+
+// Name implements Method.
+func (Omega) Name() string { return "omega" }
+
+// Posteriors implements Method.
+func (Omega) Posteriors(priors []prob.Dist, counts []int) []prob.Dist {
+	k := len(priors)
+	if k == 0 {
+		return nil
+	}
+	m := len(counts)
+	colSum := make([]float64, m)
+	for _, p := range priors {
+		for i := 0; i < m; i++ {
+			colSum[i] += p[i]
+		}
+	}
+	out := make([]prob.Dist, k)
+	for j, p := range priors {
+		d := make(prob.Dist, m)
+		for i := 0; i < m; i++ {
+			if counts[i] == 0 || colSum[i] == 0 {
+				continue
+			}
+			d[i] = float64(counts[i]) * p[i] / colSum[i]
+		}
+		out[j] = d.Normalize()
+	}
+	return out
+}
+
+// GroupCounts converts the slice of sensitive value indexes of a group
+// into a histogram over a domain of size m.
+func GroupCounts(svals []int, m int) []int {
+	counts := make([]int, m)
+	for _, s := range svals {
+		counts[s]++
+	}
+	return counts
+}

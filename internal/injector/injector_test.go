@@ -1,0 +1,265 @@
+package injector
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/adult"
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/prob"
+)
+
+// clinicTable: males never have ovarian cancer (value index 2), the
+// motivating negative association of the paper.
+func clinicTable() *dataset.Table {
+	sch := &dataset.Schema{
+		QI: []*dataset.Attribute{
+			dataset.NewCategorical("Sex", []string{"F", "M"}),
+			dataset.NewCategorical("Smoker", []string{"no", "yes"}),
+		},
+		Sensitive: dataset.NewCategorical("Disease", []string{"Flu", "Cancer", "OvarianCancer", "Emphysema"}),
+	}
+	tab := &dataset.Table{Schema: sch}
+	rows := []struct{ sex, smoker, dis int }{
+		{0, 0, 0}, {0, 0, 2}, {0, 1, 1}, {0, 1, 3},
+		{1, 0, 0}, {1, 0, 1}, {1, 1, 3}, {1, 1, 0},
+		{0, 0, 0}, {1, 0, 1},
+	}
+	for _, r := range rows {
+		tab.Records = append(tab.Records, dataset.Record{QI: []int{r.sex, r.smoker}, S: r.dis})
+	}
+	return tab
+}
+
+func TestMineFindsSexRule(t *testing.T) {
+	tab := clinicTable()
+	rules := (&Miner{MinSupport: 2, MaxLen: 1}).Mine(tab)
+	found := false
+	for _, r := range rules {
+		if r.Sensitive == 2 && len(r.Antecedent) == 1 &&
+			r.Antecedent[0] == (Item{Attr: 0, Value: 1}) {
+			found = true
+			if r.Support != 5 {
+				t.Errorf("support = %d, want 5 males", r.Support)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("male => NOT OvarianCancer not mined; rules: %v", rules)
+	}
+}
+
+func TestMinedRulesHoldOnSource(t *testing.T) {
+	// 100%-confidence rules by construction never fire on the table
+	// they were mined from.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := adult.Generate(300+rng.Intn(500), seed)
+		rules := (&Miner{MinSupport: 5, MaxLen: 2}).Mine(tab)
+		return Violations(rules, tab) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMineAdultSexConstraints(t *testing.T) {
+	// The generator's hard constraints must surface as rules: Female ⇒
+	// ¬Armed-Forces and Male ⇒ ¬Priv-house-serv.
+	tab := adult.Generate(5000, 11)
+	rules := (&Miner{MinSupport: 50, MaxLen: 1}).Mine(tab)
+	sexAttr := -1
+	for i, a := range tab.Schema.QI {
+		if a.Name == "Sex" {
+			sexAttr = i
+		}
+	}
+	female, _ := tab.Schema.QI[sexAttr].Index("Female")
+	male, _ := tab.Schema.QI[sexAttr].Index("Male")
+	armed, _ := tab.Schema.Sensitive.Index("Armed-Forces")
+	house, _ := tab.Schema.Sensitive.Index("Priv-house-serv")
+	var gotFA, gotMH bool
+	for _, r := range rules {
+		if len(r.Antecedent) == 1 && r.Antecedent[0].Attr == sexAttr {
+			if r.Antecedent[0].Value == female && r.Sensitive == armed {
+				gotFA = true
+			}
+			if r.Antecedent[0].Value == male && r.Sensitive == house {
+				gotMH = true
+			}
+		}
+	}
+	if !gotFA {
+		t.Error("Female => NOT Armed-Forces not mined")
+	}
+	if !gotMH {
+		t.Error("Male => NOT Priv-house-serv not mined")
+	}
+}
+
+func TestMinimalityPruning(t *testing.T) {
+	// If Sex=M alone excludes OvarianCancer, no 2-item rule containing
+	// Sex=M may be emitted for the same value.
+	tab := clinicTable()
+	rules := (&Miner{MinSupport: 1, MaxLen: 2}).Mine(tab)
+	for _, r := range rules {
+		if r.Sensitive != 2 || len(r.Antecedent) != 2 {
+			continue
+		}
+		for _, it := range r.Antecedent {
+			if it == (Item{Attr: 0, Value: 1}) {
+				t.Errorf("non-minimal rule not pruned: %s", r.Format(tab.Schema))
+			}
+		}
+	}
+}
+
+func TestMinSupportFilters(t *testing.T) {
+	tab := clinicTable()
+	// With MinSupport above any antecedent's cover, nothing is mined.
+	rules := (&Miner{MinSupport: 100, MaxLen: 2}).Mine(tab)
+	if len(rules) != 0 {
+		t.Errorf("mined %d rules above support ceiling", len(rules))
+	}
+}
+
+func TestApplyConstrainsPrior(t *testing.T) {
+	tab := clinicTable()
+	rules := (&Miner{MinSupport: 2, MaxLen: 1}).Mine(tab)
+	maleRec := dataset.Record{QI: []int{1, 0}, S: 0}
+	prior := prob.Dist{0.25, 0.25, 0.25, 0.25}
+	constrained := Apply(rules, maleRec, prior)
+	if constrained[2] != 0 {
+		t.Errorf("OvarianCancer mass = %g after applying rules", constrained[2])
+	}
+	if err := constrained.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The original prior is untouched.
+	if prior[2] != 0.25 {
+		t.Error("Apply mutated the input prior")
+	}
+	// A record matching no rules keeps its prior exactly.
+	femaleRec := dataset.Record{QI: []int{0, 0}, S: 0}
+	same := Apply(nil, femaleRec, prior)
+	if !prob.Equal(same, prior, 0) {
+		t.Error("no-rule application changed the prior")
+	}
+}
+
+func TestKernelPriorsSubsumeCategoricalRules(t *testing.T) {
+	// §II-B's claim, testable: at a bandwidth below the minimum
+	// categorical distance (1/3 for the height-3 Adult hierarchies),
+	// the kernel neighborhood matches categorical attributes exactly,
+	// so the prior already gives zero mass to any value a categorical
+	// negative rule excludes — constraining with Injector rules is a
+	// no-op. (Rules conditioned on the *numeric* Age attribute are NOT
+	// subsumed at this bandwidth: the kernel deliberately smooths over
+	// ±0.2·range of age. That is the framework's knob, not a bug, and
+	// TestAgeRulesNotSubsumed pins it.)
+	tab := adult.Generate(3000, 13)
+	all := (&Miner{MinSupport: 30, MaxLen: 1}).Mine(tab)
+	var rules []Rule
+	for _, r := range all {
+		if r.Antecedent[0].Attr != 0 { // attribute 0 is Age
+			rules = append(rules, r)
+		}
+	}
+	if len(rules) == 0 {
+		t.Fatal("no categorical rules mined")
+	}
+	est, err := kernel.NewEstimator(tab, adult.Hierarchies(), kernel.Epanechnikov{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors, err := est.Priors(kernel.UniformBandwidth(tab.Schema.D(), 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	constrained := ConstrainAll(rules, tab, priors)
+	for ri := range priors {
+		if tv := prob.TotalVariation(priors[ri], constrained[ri]); tv > 1e-9 {
+			t.Fatalf("record %d prior moved %g under categorical rule constraints — not subsumed", ri, tv)
+		}
+	}
+}
+
+func TestAgeRulesNotSubsumed(t *testing.T) {
+	// Conversely, age-conditioned rules carry knowledge the kernel
+	// smooths away at moderate bandwidths — the reason Injector-style
+	// rules remain a meaningful comparison point.
+	tab := adult.Generate(3000, 13)
+	all := (&Miner{MinSupport: 30, MaxLen: 1}).Mine(tab)
+	var ageRules []Rule
+	for _, r := range all {
+		if r.Antecedent[0].Attr == 0 {
+			ageRules = append(ageRules, r)
+		}
+	}
+	if len(ageRules) == 0 {
+		t.Skip("no age rules mined at this support level")
+	}
+	est, err := kernel.NewEstimator(tab, adult.Hierarchies(), kernel.Epanechnikov{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors, err := est.Priors(kernel.UniformBandwidth(tab.Schema.D(), 0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	constrained := ConstrainAll(ageRules, tab, priors)
+	moved := false
+	for ri := range priors {
+		if prob.TotalVariation(priors[ri], constrained[ri]) > 1e-6 {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Error("age rules changed no prior — expected them to add knowledge beyond the kernel estimate")
+	}
+}
+
+func TestRuleFormat(t *testing.T) {
+	tab := clinicTable()
+	r := Rule{Antecedent: []Item{{0, 1}}, Sensitive: 2, Support: 5}
+	s := r.Format(tab.Schema)
+	if !strings.Contains(s, "Sex=M") || !strings.Contains(s, "NOT OvarianCancer") {
+		t.Errorf("Format = %s", s)
+	}
+}
+
+func TestViolationsOnDifferentTable(t *testing.T) {
+	// Rules mined on one sample may be violated by another — the count
+	// must pick that up.
+	tab := clinicTable()
+	rules := (&Miner{MinSupport: 2, MaxLen: 1}).Mine(tab)
+	other := &dataset.Table{Schema: tab.Schema, Records: []dataset.Record{
+		{QI: []int{1, 0}, S: 2}, // a male with ovarian cancer
+	}}
+	if v := Violations(rules, other); v == 0 {
+		t.Error("violation not detected")
+	}
+}
+
+func TestDeterministicMining(t *testing.T) {
+	tab := adult.Generate(1000, 17)
+	a := (&Miner{MinSupport: 10, MaxLen: 2}).Mine(tab)
+	b := (&Miner{MinSupport: 10, MaxLen: 2}).Mine(tab)
+	if len(a) != len(b) {
+		t.Fatalf("rule counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Sensitive != b[i].Sensitive || len(a[i].Antecedent) != len(b[i].Antecedent) {
+			t.Fatalf("rule %d differs between runs", i)
+		}
+		for j := range a[i].Antecedent {
+			if a[i].Antecedent[j] != b[i].Antecedent[j] {
+				t.Fatalf("rule %d item %d differs", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package kernel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/hierarchy"
+	"repro/internal/prob"
+)
+
+// Estimator computes the adversary's prior belief function from the
+// table to be released, following §II-B/C: the prior for a QI point q
+// is the Nadaraya–Watson weighted average of the one-hot sensitive
+// distributions of all tuples, with a product kernel over the d QI
+// attributes,
+//
+//	P̂pri(q) = Σ_t P(t) Π_i K_i(q_i − t[A_i]) / Σ_t Π_i K_i(q_i − t[A_i]).
+//
+// Identical QI profiles are deduplicated before the O(profiles²)
+// pass, and the per-attribute kernel weights are precomputed into
+// lookup tables, so the inner loop is d multiplications per pair.
+type Estimator struct {
+	Kernel   Func
+	Table    *dataset.Table
+	Matrices [][][]float64 // per QI attribute: domain×domain distances
+
+	profiles []*dataset.Profile
+}
+
+// NewEstimator prepares an estimator for the table. hiers supplies
+// generalization hierarchies for categorical attributes by name;
+// attributes without one use the flat hierarchy.
+func NewEstimator(t *dataset.Table, hiers map[string]*hierarchy.Hierarchy, k Func) (*Estimator, error) {
+	if k == nil {
+		k = Epanechnikov{}
+	}
+	e := &Estimator{Kernel: k, Table: t}
+	e.Matrices = make([][][]float64, t.Schema.D())
+	for i, a := range t.Schema.QI {
+		m, err := AttributeMatrix(a, hiers[a.Name])
+		if err != nil {
+			return nil, err
+		}
+		e.Matrices[i] = m
+	}
+	e.profiles = t.Profiles()
+	return e, nil
+}
+
+// Profiles exposes the deduplicated QI profiles the estimator runs on.
+func (e *Estimator) Profiles() []*dataset.Profile { return e.profiles }
+
+// validateBandwidth checks a bandwidth vector against the schema.
+func (e *Estimator) validateBandwidth(b []float64) error {
+	if len(b) != e.Table.Schema.D() {
+		return fmt.Errorf("kernel: bandwidth has %d components, schema has %d QI attributes", len(b), e.Table.Schema.D())
+	}
+	for i, bi := range b {
+		if bi <= 0 {
+			return fmt.Errorf("kernel: bandwidth B%d = %g must be positive", i+1, bi)
+		}
+	}
+	return nil
+}
+
+// UniformBandwidth returns the d-vector (b, b, ..., b), the B' = (b',..)
+// parameterization used throughout the paper's experiments.
+func UniformBandwidth(d int, b float64) []float64 {
+	out := make([]float64, d)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// Priors estimates the prior belief distribution for every record in
+// the table under bandwidth vector b. The result is indexed by record.
+func (e *Estimator) Priors(b []float64) ([]prob.Dist, error) {
+	perProfile, err := e.ProfilePriors(b)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]prob.Dist, e.Table.N())
+	for pi, p := range e.profiles {
+		for _, row := range p.Rows {
+			out[row] = perProfile[pi]
+		}
+	}
+	return out, nil
+}
+
+// ProfilePriors estimates one prior distribution per distinct QI
+// profile, parallelized across profiles.
+func (e *Estimator) ProfilePriors(b []float64) ([]prob.Dist, error) {
+	if err := e.validateBandwidth(b); err != nil {
+		return nil, err
+	}
+	weights := e.weightTables(b)
+	m := e.Table.Schema.M()
+	out := make([]prob.Dist, len(e.profiles))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(e.profiles) {
+		workers = len(e.profiles)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pi := range next {
+				out[pi] = e.priorForProfile(e.profiles[pi], weights, m)
+			}
+		}()
+	}
+	for pi := range e.profiles {
+		next <- pi
+	}
+	close(next)
+	wg.Wait()
+	return out, nil
+}
+
+// PriorAt estimates the prior at an arbitrary QI point q (value
+// indexes), which need not occur in the table.
+func (e *Estimator) PriorAt(q []int, b []float64) (prob.Dist, error) {
+	if err := e.validateBandwidth(b); err != nil {
+		return nil, err
+	}
+	weights := e.weightTables(b)
+	p := &dataset.Profile{QI: q}
+	return e.priorForProfile(p, weights, e.Table.Schema.M()), nil
+}
+
+func (e *Estimator) weightTables(b []float64) [][][]float64 {
+	w := make([][][]float64, len(e.Matrices))
+	for i, m := range e.Matrices {
+		w[i] = WeightTable(e.Kernel, m, b[i])
+	}
+	return w
+}
+
+// priorForProfile runs the Nadaraya–Watson sum for one QI point.
+// When every kernel weight vanishes (possible for a query point far
+// from all data under compact kernels) it falls back to the whole-table
+// distribution — the weakest consistent prior.
+func (e *Estimator) priorForProfile(p *dataset.Profile, weights [][][]float64, m int) prob.Dist {
+	acc := make(prob.Dist, m)
+	denom := 0.0
+	d := len(p.QI)
+	for _, u := range e.profiles {
+		w := float64(u.Weight())
+		for i := 0; i < d; i++ {
+			w *= weights[i][p.QI[i]][u.QI[i]]
+			if w == 0 {
+				break
+			}
+		}
+		if w == 0 {
+			continue
+		}
+		denom += w
+		scale := w / float64(u.Weight())
+		for si, c := range u.Counts {
+			if c != 0 {
+				acc[si] += scale * float64(c)
+			}
+		}
+	}
+	if denom == 0 {
+		counts := e.Table.SensitiveCounts(nil)
+		return prob.FromCounts(counts)
+	}
+	for i := range acc {
+		acc[i] /= denom
+	}
+	return acc
+}
+
+// WholeTableDist returns the sensitive distribution of the entire
+// table, the prior of the t-closeness adversary (§II-D).
+func (e *Estimator) WholeTableDist() prob.Dist {
+	return prob.FromCounts(e.Table.SensitiveCounts(nil))
+}

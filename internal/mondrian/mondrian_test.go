@@ -1,0 +1,173 @@
+package mondrian
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/privacy"
+)
+
+// randomTable builds a table with one numeric and one categorical QI.
+func randomTable(rng *rand.Rand, n int) *dataset.Table {
+	ages := make([]float64, 30)
+	for i := range ages {
+		ages[i] = float64(20 + i)
+	}
+	sch := &dataset.Schema{
+		QI: []*dataset.Attribute{
+			dataset.NewNumeric("Age", ages),
+			dataset.NewCategorical("Sex", []string{"F", "M"}),
+		},
+		Sensitive: dataset.NewCategorical("D", []string{"a", "b", "c", "d", "e"}),
+	}
+	tab := &dataset.Table{Schema: sch}
+	for i := 0; i < n; i++ {
+		tab.Records = append(tab.Records, dataset.Record{
+			QI: []int{rng.Intn(30), rng.Intn(2)},
+			S:  rng.Intn(5),
+		})
+	}
+	return tab
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tab := randomTable(rng, 20+rng.Intn(200))
+		p := &Partitioner{Table: tab, Req: privacy.KAnonymity{K: 2 + rng.Intn(4)}}
+		res := p.Anonymize()
+		return res.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKAnonymityHolds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(5)
+		tab := randomTable(rng, k+rng.Intn(300))
+		p := &Partitioner{Table: tab, Req: privacy.KAnonymity{K: k}}
+		res := p.Anonymize()
+		for _, g := range res.Groups {
+			if g.Size() < k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequirementHoldsOnLeaves(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tab := randomTable(rng, 300)
+	req := privacy.And{Parts: []privacy.Requirement{
+		privacy.KAnonymity{K: 3},
+		privacy.DistinctLDiversity{L: 3, Table: tab},
+	}}
+	p := &Partitioner{Table: tab, Req: req}
+	res := p.Anonymize()
+	for gi, g := range res.Groups {
+		if !req.Satisfied(g.Rows) {
+			t.Errorf("leaf group %d violates %s", gi, req.Name())
+		}
+	}
+}
+
+func TestSplitsActuallyHappen(t *testing.T) {
+	// A diverse 300-record table under loose requirements must split
+	// into many groups; a single giant group means recursion is broken.
+	rng := rand.New(rand.NewSource(5))
+	tab := randomTable(rng, 300)
+	p := &Partitioner{Table: tab, Req: privacy.KAnonymity{K: 2}}
+	res := p.Anonymize()
+	if len(res.Groups) < 20 {
+		t.Errorf("only %d groups for 300 records at k=2", len(res.Groups))
+	}
+}
+
+func TestUnsplittableSingleGroup(t *testing.T) {
+	// If every record shares one QI point, no split exists: one group.
+	sch := &dataset.Schema{
+		QI:        []*dataset.Attribute{dataset.NewNumeric("Age", []float64{42})},
+		Sensitive: dataset.NewCategorical("D", []string{"a", "b"}),
+	}
+	tab := &dataset.Table{Schema: sch}
+	for i := 0; i < 10; i++ {
+		tab.Records = append(tab.Records, dataset.Record{QI: []int{0}, S: i % 2})
+	}
+	p := &Partitioner{Table: tab, Req: privacy.KAnonymity{K: 2}}
+	res := p.Anonymize()
+	if len(res.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(res.Groups))
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImpossibleRequirementYieldsRoot(t *testing.T) {
+	// A requirement nothing satisfies: the root partition is returned
+	// unsplit (the paper's convention — the whole table is always
+	// publishable as one group).
+	rng := rand.New(rand.NewSource(7))
+	tab := randomTable(rng, 50)
+	p := &Partitioner{Table: tab, Req: privacy.KAnonymity{K: 1000}}
+	res := p.Anonymize()
+	if len(res.Groups) != 1 || res.Groups[0].Size() != 50 {
+		t.Fatalf("expected single root group, got %d groups", len(res.Groups))
+	}
+}
+
+func TestMedianSplitBalance(t *testing.T) {
+	// Median splits should produce reasonably balanced partitions on
+	// uniform data: no leaf should hold more than half the table under
+	// k-anonymity with k=2 and 30 distinct ages.
+	rng := rand.New(rand.NewSource(9))
+	tab := randomTable(rng, 256)
+	p := &Partitioner{Table: tab, Req: privacy.KAnonymity{K: 2}}
+	res := p.Anonymize()
+	for _, g := range res.Groups {
+		if g.Size() > 128 {
+			t.Errorf("group of %d records out of 256 — median split not balancing", g.Size())
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng1 := rand.New(rand.NewSource(11))
+	rng2 := rand.New(rand.NewSource(11))
+	tab1 := randomTable(rng1, 200)
+	tab2 := randomTable(rng2, 200)
+	res1 := (&Partitioner{Table: tab1, Req: privacy.KAnonymity{K: 3}}).Anonymize()
+	res2 := (&Partitioner{Table: tab2, Req: privacy.KAnonymity{K: 3}}).Anonymize()
+	if len(res1.Groups) != len(res2.Groups) {
+		t.Fatalf("non-deterministic: %d vs %d groups", len(res1.Groups), len(res2.Groups))
+	}
+	for i := range res1.Groups {
+		if res1.Groups[i].Size() != res2.Groups[i].Size() {
+			t.Fatalf("group %d size differs", i)
+		}
+	}
+}
+
+func TestStricterRequirementFewerGroups(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tab := randomTable(rng, 400)
+	sizes := []int{}
+	for _, k := range []int{2, 4, 8, 16} {
+		res := (&Partitioner{Table: tab, Req: privacy.KAnonymity{K: k}}).Anonymize()
+		sizes = append(sizes, len(res.Groups))
+	}
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i] > sizes[i-1] {
+			t.Errorf("k increase produced more groups: %v", sizes)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package privacy implements the privacy requirements compared in the
+// paper's evaluation (§V): k-anonymity, distinct ℓ-diversity,
+// probabilistic ℓ-diversity, t-closeness, and the paper's contribution,
+// (B,t)-privacy and its skyline generalization. A requirement is a
+// predicate over a candidate group of records, bound to the table it
+// protects; anonymization algorithms accept any Requirement, so every
+// model runs through the same Mondrian variant as in the paper.
+package privacy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/inference"
+	"repro/internal/prob"
+)
+
+// Requirement decides whether a candidate anonymization group satisfies
+// a privacy model. rows are record indexes into the bound table.
+type Requirement interface {
+	Name() string
+	Satisfied(rows []int) bool
+}
+
+// And is the conjunction of several requirements; the paper composes
+// every attribute-disclosure model with k-anonymity for identity
+// disclosure (§V).
+type And struct {
+	Parts []Requirement
+}
+
+// Name implements Requirement.
+func (a And) Name() string {
+	names := make([]string, len(a.Parts))
+	for i, p := range a.Parts {
+		names[i] = p.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+// Satisfied implements Requirement.
+func (a And) Satisfied(rows []int) bool {
+	for _, p := range a.Parts {
+		if !p.Satisfied(rows) {
+			return false
+		}
+	}
+	return true
+}
+
+// KAnonymity requires every group to contain at least K records.
+type KAnonymity struct {
+	K int
+}
+
+// Name implements Requirement.
+func (k KAnonymity) Name() string { return fmt.Sprintf("%d-anonymity", k.K) }
+
+// Satisfied implements Requirement.
+func (k KAnonymity) Satisfied(rows []int) bool { return len(rows) >= k.K }
+
+// DistinctLDiversity requires at least L distinct sensitive values in
+// every group.
+type DistinctLDiversity struct {
+	L     int
+	Table *dataset.Table
+}
+
+// Name implements Requirement.
+func (l DistinctLDiversity) Name() string { return fmt.Sprintf("distinct-%d-diversity", l.L) }
+
+// Satisfied implements Requirement.
+func (l DistinctLDiversity) Satisfied(rows []int) bool {
+	seen := make(map[int]struct{}, l.L)
+	for _, ri := range rows {
+		seen[l.Table.Records[ri].S] = struct{}{}
+		if len(seen) >= l.L {
+			return true
+		}
+	}
+	return false
+}
+
+// ProbabilisticLDiversity requires the most frequent sensitive value in
+// every group to have relative frequency at most 1/L.
+type ProbabilisticLDiversity struct {
+	L     float64
+	Table *dataset.Table
+}
+
+// Name implements Requirement.
+func (l ProbabilisticLDiversity) Name() string {
+	return fmt.Sprintf("probabilistic-%g-diversity", l.L)
+}
+
+// Satisfied implements Requirement.
+func (l ProbabilisticLDiversity) Satisfied(rows []int) bool {
+	if len(rows) == 0 {
+		return false
+	}
+	counts := l.Table.SensitiveCounts(rows)
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	return float64(maxC) <= float64(len(rows))/l.L
+}
+
+// TCloseness requires the EMD between each group's sensitive
+// distribution and the whole table's to be at most T. Ground distances
+// come from the sensitive attribute's semantic distance matrix.
+type TCloseness struct {
+	T     float64
+	Table *dataset.Table
+	Whole prob.Dist   // whole-table sensitive distribution
+	M     [][]float64 // sensitive ground-distance matrix
+}
+
+// Name implements Requirement.
+func (t TCloseness) Name() string { return fmt.Sprintf("%g-closeness", t.T) }
+
+// Satisfied implements Requirement.
+func (t TCloseness) Satisfied(rows []int) bool {
+	if len(rows) == 0 {
+		return false
+	}
+	p := prob.FromCounts(t.Table.SensitiveCounts(rows))
+	return distance.EMD(p, t.Whole, t.M) <= t.T
+}
+
+// BTPrivacy is the (B,t)-privacy principle (Definition 1): for the
+// adversary Adv(B) with per-record priors Priors, the distance between
+// prior and posterior belief must be at most T for every record in the
+// group. Posteriors come from the configured inference method (the
+// Ω-estimate by default) and distances from the configured measure
+// (the paper's kernel-smoothed JS divergence).
+type BTPrivacy struct {
+	T       float64
+	Table   *dataset.Table
+	Priors  []prob.Dist // indexed by record, from kernel.Estimator
+	Measure distance.Measure
+	Method  inference.Method
+	// Label annotates the bandwidth in Name, e.g. "B=0.3".
+	Label string
+}
+
+// Name implements Requirement.
+func (b BTPrivacy) Name() string {
+	if b.Label != "" {
+		return fmt.Sprintf("(%s,%g)-privacy", b.Label, b.T)
+	}
+	return fmt.Sprintf("(B,%g)-privacy", b.T)
+}
+
+// method returns the configured inference method, defaulting to Ω.
+func (b BTPrivacy) method() inference.Method {
+	if b.Method == nil {
+		return inference.Omega{}
+	}
+	return b.Method
+}
+
+// GroupRisks returns, per record in rows, the adversary's knowledge
+// gain D[prior, posterior] for the candidate group.
+func (b BTPrivacy) GroupRisks(rows []int) []float64 {
+	k := len(rows)
+	priors := make([]prob.Dist, k)
+	svals := make([]int, k)
+	for i, ri := range rows {
+		priors[i] = b.Priors[ri]
+		svals[i] = b.Table.Records[ri].S
+	}
+	counts := inference.GroupCounts(svals, b.Table.Schema.M())
+	posts := b.method().Posteriors(priors, counts)
+	risks := make([]float64, k)
+	for i := range rows {
+		risks[i] = b.Measure.Distance(priors[i], posts[i])
+	}
+	return risks
+}
+
+// WorstRisk returns the maximum knowledge gain over the group.
+func (b BTPrivacy) WorstRisk(rows []int) float64 {
+	worst := 0.0
+	for _, r := range b.GroupRisks(rows) {
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// Satisfied implements Requirement.
+func (b BTPrivacy) Satisfied(rows []int) bool {
+	if len(rows) == 0 {
+		return false
+	}
+	return b.WorstRisk(rows) <= b.T
+}
+
+// Skyline is the skyline (B,t)-privacy principle (Definition 2): a
+// conjunction of (B_i, t_i) requirements protecting simultaneously
+// against adversaries with different knowledge levels.
+type Skyline struct {
+	Entries []BTPrivacy
+}
+
+// Name implements Requirement.
+func (s Skyline) Name() string {
+	parts := make([]string, len(s.Entries))
+	for i, e := range s.Entries {
+		parts[i] = e.Name()
+	}
+	return "skyline{" + strings.Join(parts, ",") + "}"
+}
+
+// Satisfied implements Requirement.
+func (s Skyline) Satisfied(rows []int) bool {
+	for _, e := range s.Entries {
+		if !e.Satisfied(rows) {
+			return false
+		}
+	}
+	return len(s.Entries) > 0
+}

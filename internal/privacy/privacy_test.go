@@ -1,0 +1,268 @@
+package privacy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/distance"
+	"repro/internal/inference"
+	"repro/internal/kernel"
+	"repro/internal/prob"
+)
+
+// testTable builds a small table with one numeric QI and 4 sensitive
+// values.
+func testTable() *dataset.Table {
+	sch := &dataset.Schema{
+		QI:        []*dataset.Attribute{dataset.NewNumeric("Age", []float64{20, 30, 40, 50, 60, 70})},
+		Sensitive: dataset.NewCategorical("D", []string{"a", "b", "c", "d"}),
+	}
+	tab := &dataset.Table{Schema: sch}
+	svals := []int{0, 0, 1, 1, 2, 2, 3, 3, 0, 1}
+	for i, s := range svals {
+		tab.Records = append(tab.Records, dataset.Record{QI: []int{i % 6}, S: s})
+	}
+	return tab
+}
+
+func flatMatrix(m int) [][]float64 {
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, m)
+		for j := range out[i] {
+			if i != j {
+				out[i][j] = 1
+			}
+		}
+	}
+	return out
+}
+
+func TestKAnonymity(t *testing.T) {
+	k := KAnonymity{K: 3}
+	if k.Satisfied([]int{0, 1}) {
+		t.Error("accepted group of 2")
+	}
+	if !k.Satisfied([]int{0, 1, 2}) {
+		t.Error("rejected group of 3")
+	}
+	if k.Name() != "3-anonymity" {
+		t.Errorf("name = %s", k.Name())
+	}
+}
+
+func TestDistinctLDiversity(t *testing.T) {
+	tab := testTable()
+	l := DistinctLDiversity{L: 3, Table: tab}
+	// Records 0,1 both have value a; 0,2,4 have a,b,c.
+	if l.Satisfied([]int{0, 1}) {
+		t.Error("accepted 1-distinct group")
+	}
+	if !l.Satisfied([]int{0, 2, 4}) {
+		t.Error("rejected 3-distinct group")
+	}
+	if l.Satisfied([]int{0, 1, 2}) {
+		t.Error("accepted 2-distinct group of 3")
+	}
+}
+
+func TestProbabilisticLDiversity(t *testing.T) {
+	tab := testTable()
+	l := ProbabilisticLDiversity{L: 2, Table: tab}
+	// {a,a,b}: max freq 2/3 > 1/2 → reject.
+	if l.Satisfied([]int{0, 1, 2}) {
+		t.Error("accepted max-frequency 2/3 under L=2")
+	}
+	// {a,a,b,b}: max freq 1/2 ≤ 1/2 → accept.
+	if !l.Satisfied([]int{0, 1, 2, 3}) {
+		t.Error("rejected max-frequency 1/2 under L=2")
+	}
+	if l.Satisfied(nil) {
+		t.Error("accepted empty group")
+	}
+}
+
+func TestTCloseness(t *testing.T) {
+	tab := testTable()
+	whole := prob.FromCounts(tab.SensitiveCounts(nil))
+	tc := TCloseness{T: 0.3, Table: tab, Whole: whole, M: flatMatrix(4)}
+	// The whole table trivially satisfies any t.
+	all := make([]int, tab.N())
+	for i := range all {
+		all[i] = i
+	}
+	if !tc.Satisfied(all) {
+		t.Error("whole table rejected")
+	}
+	// A pure-'a' group has EMD 1-0.3 = 0.7 from the whole distribution.
+	if tc.Satisfied([]int{0, 1, 8}) {
+		t.Error("accepted far group under t=0.3")
+	}
+	strict := TCloseness{T: 0.0001, Table: tab, Whole: whole, M: flatMatrix(4)}
+	if strict.Satisfied([]int{0, 2, 4, 6}) {
+		t.Error("accepted non-identical distribution under t≈0")
+	}
+}
+
+// btFixture builds a BTPrivacy requirement with kernel priors.
+func btFixture(t *testing.T, tab *dataset.Table, tt float64) BTPrivacy {
+	t.Helper()
+	est, err := kernel.NewEstimator(tab, nil, kernel.Epanechnikov{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	priors, err := est.Priors(kernel.UniformBandwidth(1, 0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return BTPrivacy{
+		T:       tt,
+		Table:   tab,
+		Priors:  priors,
+		Measure: distance.NewSmoothedJS(flatMatrix(tab.Schema.M()), kernel.Epanechnikov{}, 0.6),
+		Label:   "B=0.3",
+	}
+}
+
+func TestBTPrivacyThresholds(t *testing.T) {
+	tab := testTable()
+	// With a permissive threshold everything passes; with an impossible
+	// threshold only gain-free groups pass.
+	loose := btFixture(t, tab, 1.0)
+	all := make([]int, tab.N())
+	for i := range all {
+		all[i] = i
+	}
+	if !loose.Satisfied(all) {
+		t.Error("loose threshold rejected whole table")
+	}
+	tight := btFixture(t, tab, 0.0)
+	// A mixed group almost surely moves some belief.
+	if tight.Satisfied([]int{0, 2, 4, 6}) {
+		t.Error("zero threshold accepted a belief-moving group")
+	}
+	if tight.Satisfied(nil) {
+		t.Error("accepted empty group")
+	}
+}
+
+func TestBTPrivacyRisksMatchWorst(t *testing.T) {
+	tab := testTable()
+	bt := btFixture(t, tab, 0.5)
+	rows := []int{0, 2, 4, 6}
+	risks := bt.GroupRisks(rows)
+	worst := bt.WorstRisk(rows)
+	max := 0.0
+	for _, r := range risks {
+		if r > max {
+			max = r
+		}
+	}
+	if worst != max {
+		t.Errorf("WorstRisk %g != max of risks %g", worst, max)
+	}
+	if len(risks) != len(rows) {
+		t.Errorf("got %d risks for %d rows", len(risks), len(rows))
+	}
+}
+
+func TestBTPrivacyDefaultsToOmega(t *testing.T) {
+	tab := testTable()
+	bt := btFixture(t, tab, 0.5)
+	if bt.method().Name() != "omega" {
+		t.Errorf("default method = %s", bt.method().Name())
+	}
+	bt.Method = inference.Exact{}
+	if bt.method().Name() != "exact" {
+		t.Errorf("explicit method = %s", bt.method().Name())
+	}
+}
+
+func TestBTPrivacyExactVsOmegaConsistency(t *testing.T) {
+	// Both inference methods must agree on gain-free groups (uniform
+	// priors within the group) — a regression guard for the plumbing.
+	tab := testTable()
+	bt := btFixture(t, tab, 0.5)
+	btExact := bt
+	btExact.Method = inference.Exact{}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		rows := rng.Perm(tab.N())[:n]
+		// Risks must be finite, non-negative under both methods.
+		for _, b := range []BTPrivacy{bt, btExact} {
+			for _, r := range b.GroupRisks(rows) {
+				if r < 0 || r != r {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkyline(t *testing.T) {
+	tab := testTable()
+	loose := btFixture(t, tab, 1.0)
+	tight := btFixture(t, tab, 0.0)
+	rows := []int{0, 2, 4, 6}
+	sky := Skyline{Entries: []BTPrivacy{loose, tight}}
+	if sky.Satisfied(rows) {
+		t.Error("skyline with an unsatisfiable entry accepted a group")
+	}
+	sky2 := Skyline{Entries: []BTPrivacy{loose}}
+	if !sky2.Satisfied(rows) {
+		t.Error("skyline with loose entry rejected a group")
+	}
+	empty := Skyline{}
+	if empty.Satisfied(rows) {
+		t.Error("empty skyline should not vacuously accept")
+	}
+	if !strings.Contains(sky.Name(), "skyline{") {
+		t.Errorf("name = %s", sky.Name())
+	}
+}
+
+func TestAnd(t *testing.T) {
+	tab := testTable()
+	req := And{Parts: []Requirement{
+		KAnonymity{K: 3},
+		DistinctLDiversity{L: 3, Table: tab},
+	}}
+	if req.Satisfied([]int{0, 2}) {
+		t.Error("accepted group failing k-anonymity")
+	}
+	if req.Satisfied([]int{0, 1, 8}) {
+		t.Error("accepted group failing diversity")
+	}
+	if !req.Satisfied([]int{0, 2, 4}) {
+		t.Error("rejected satisfying group")
+	}
+	if !strings.Contains(req.Name(), "+") {
+		t.Errorf("name = %s", req.Name())
+	}
+}
+
+func TestNames(t *testing.T) {
+	tab := testTable()
+	for _, c := range []struct {
+		req  Requirement
+		want string
+	}{
+		{DistinctLDiversity{L: 4, Table: tab}, "distinct-4-diversity"},
+		{ProbabilisticLDiversity{L: 2.5, Table: tab}, "probabilistic-2.5-diversity"},
+		{TCloseness{T: 0.2}, "0.2-closeness"},
+		{BTPrivacy{T: 0.1, Label: "B=0.3"}, "(B=0.3,0.1)-privacy"},
+		{BTPrivacy{T: 0.1}, "(B,0.1)-privacy"},
+	} {
+		if got := c.req.Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package utility implements the data-utility measures of §V-E: the
+// Discernibility Metric (Bayardo & Agrawal), the Global Certainty
+// Penalty (Xu et al.), and the aggregate COUNT query workload with
+// query dimension (qd) and selectivity (sel) parameters used for
+// Figure 6.
+package utility
+
+import (
+	"math"
+
+	"repro/internal/anonymize"
+)
+
+// Discernibility returns the DM cost Σ_G |G|²: each record is charged
+// the size of the group it is indistinguishable within.
+func Discernibility(r *anonymize.Result) float64 {
+	cost := 0.0
+	for _, g := range r.Groups {
+		n := float64(g.Size())
+		cost += n * n
+	}
+	return cost
+}
+
+// NCP returns the Normalized Certainty Penalty of one group: the sum
+// over QI attributes of the group extent's width as a fraction of the
+// attribute's domain range.
+func NCP(r *anonymize.Result, g *anonymize.Group) float64 {
+	s := 0.0
+	for i, a := range r.Table.Schema.QI {
+		s += g.Extent.NormalizedSpan(a, i)
+	}
+	return s
+}
+
+// GCP returns the Global Certainty Penalty Σ_G |G|·NCP(G): total
+// information loss from generalization, weighted by group population.
+func GCP(r *anonymize.Result) float64 {
+	cost := 0.0
+	for _, g := range r.Groups {
+		cost += float64(g.Size()) * NCP(r, g)
+	}
+	return cost
+}
+
+// GCPNormalized scales GCP into [0,1] by dividing by d·N, the cost of
+// fully suppressing every record.
+func GCPNormalized(r *anonymize.Result) float64 {
+	d := r.Table.Schema.D()
+	n := r.Table.N()
+	if d == 0 || n == 0 {
+		return 0
+	}
+	return GCP(r) / float64(d*n)
+}
+
+// AverageGroupSize returns N / number of groups, a coarse utility
+// indicator often reported alongside DM.
+func AverageGroupSize(r *anonymize.Result) float64 {
+	if len(r.Groups) == 0 {
+		return math.NaN()
+	}
+	return float64(r.Table.N()) / float64(len(r.Groups))
+}

@@ -1,0 +1,252 @@
+package utility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/anonymize"
+	"repro/internal/dataset"
+	"repro/internal/mondrian"
+	"repro/internal/privacy"
+)
+
+func makeTable(n int, seed int64) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	ages := make([]float64, 50)
+	for i := range ages {
+		ages[i] = float64(18 + i)
+	}
+	sch := &dataset.Schema{
+		QI: []*dataset.Attribute{
+			dataset.NewNumeric("Age", ages),
+			dataset.NewCategorical("Sex", []string{"F", "M"}),
+			dataset.NewCategorical("City", []string{"u", "v", "w", "x"}),
+		},
+		Sensitive: dataset.NewCategorical("D", []string{"a", "b", "c", "d", "e"}),
+	}
+	tab := &dataset.Table{Schema: sch}
+	for i := 0; i < n; i++ {
+		tab.Records = append(tab.Records, dataset.Record{
+			QI: []int{rng.Intn(50), rng.Intn(2), rng.Intn(4)},
+			S:  rng.Intn(5),
+		})
+	}
+	return tab
+}
+
+func anonymizeK(tab *dataset.Table, k int) *anonymize.Result {
+	p := &mondrian.Partitioner{Table: tab, Req: privacy.KAnonymity{K: k}}
+	return p.Anonymize()
+}
+
+func TestDiscernibilityKnownValue(t *testing.T) {
+	tab := makeTable(10, 1)
+	res := &anonymize.Result{Table: tab, Groups: []*anonymize.Group{
+		{Rows: []int{0, 1, 2}, Extent: anonymize.NewExtent(tab, []int{0, 1, 2})},
+		{Rows: []int{3, 4, 5, 6, 7, 8, 9}, Extent: anonymize.NewExtent(tab, []int{3, 4, 5, 6, 7, 8, 9})},
+	}}
+	if got := Discernibility(res); got != 9+49 {
+		t.Errorf("DM = %g, want 58", got)
+	}
+}
+
+func TestDMBounds(t *testing.T) {
+	// DM is minimized by singleton groups (N) and maximized by one
+	// group (N²).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		tab := makeTable(n, seed)
+		res := anonymizeK(tab, 2)
+		dm := Discernibility(res)
+		return dm >= float64(n) && dm <= float64(n)*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCPSingletonsZero(t *testing.T) {
+	tab := makeTable(8, 2)
+	groups := make([]*anonymize.Group, tab.N())
+	for i := range groups {
+		groups[i] = &anonymize.Group{Rows: []int{i}, Extent: anonymize.NewExtent(tab, []int{i})}
+	}
+	res := &anonymize.Result{Table: tab, Groups: groups}
+	if got := GCP(res); got != 0 {
+		t.Errorf("GCP of singleton groups = %g, want 0", got)
+	}
+}
+
+func TestGCPFullSuppression(t *testing.T) {
+	// One group spanning every domain: GCP = d·N (normalized = 1),
+	// provided the records actually span all domains.
+	tab := makeTable(200, 3)
+	all := make([]int, tab.N())
+	for i := range all {
+		all[i] = i
+	}
+	res := &anonymize.Result{Table: tab, Groups: []*anonymize.Group{
+		{Rows: all, Extent: anonymize.NewExtent(tab, all)},
+	}}
+	want := float64(tab.Schema.D() * tab.N())
+	if got := GCP(res); math.Abs(got-want) > 1e-9 {
+		t.Errorf("GCP = %g, want %g", got, want)
+	}
+	if got := GCPNormalized(res); math.Abs(got-1) > 1e-9 {
+		t.Errorf("GCPNormalized = %g, want 1", got)
+	}
+}
+
+func TestMonotonicityInK(t *testing.T) {
+	// Stricter k-anonymity ⇒ larger groups ⇒ both DM and GCP weakly
+	// increase.
+	tab := makeTable(300, 4)
+	var prevDM, prevGCP float64
+	for i, k := range []int{2, 5, 10, 25} {
+		res := anonymizeK(tab, k)
+		dm, gcp := Discernibility(res), GCP(res)
+		if i > 0 && (dm < prevDM || gcp < prevGCP-1e-9) {
+			t.Errorf("k=%d: DM %g (prev %g), GCP %g (prev %g) not monotone", k, dm, prevDM, gcp, prevGCP)
+		}
+		prevDM, prevGCP = dm, gcp
+	}
+}
+
+func TestAverageGroupSize(t *testing.T) {
+	tab := makeTable(100, 5)
+	res := anonymizeK(tab, 10)
+	avg := AverageGroupSize(res)
+	if avg < 10 || avg > 100 {
+		t.Errorf("average group size = %g", avg)
+	}
+}
+
+func TestQueryTrueCount(t *testing.T) {
+	tab := makeTable(100, 6)
+	q := &Query{
+		Attrs: []int{0},
+		Lo:    []int{0},
+		Hi:    []int{tab.Schema.QI[0].Size() - 1},
+		SVals: map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true},
+	}
+	if got := q.TrueCount(tab); got != 100 {
+		t.Errorf("full-domain query count = %d, want 100", got)
+	}
+	q.SVals = map[int]bool{0: true}
+	want := 0
+	for _, r := range tab.Records {
+		if r.S == 0 {
+			want++
+		}
+	}
+	if got := q.TrueCount(tab); got != want {
+		t.Errorf("sensitive-filter count = %d, want %d", got, want)
+	}
+}
+
+func TestEstimateExactOnSingletons(t *testing.T) {
+	// With singleton groups the uniform-spread estimate is exact.
+	tab := makeTable(60, 7)
+	groups := make([]*anonymize.Group, tab.N())
+	for i := range groups {
+		groups[i] = &anonymize.Group{Rows: []int{i}, Extent: anonymize.NewExtent(tab, []int{i})}
+	}
+	res := &anonymize.Result{Table: tab, Groups: groups}
+	rng := rand.New(rand.NewSource(8))
+	w := &Workload{QD: 2, Sel: 0.3, Queries: 50, Rng: rng}
+	for i := 0; i < 50; i++ {
+		q := w.Generate(tab.Schema)
+		act := float64(q.TrueCount(tab))
+		est := q.EstimateCount(res)
+		if math.Abs(act-est) > 1e-9 {
+			t.Fatalf("query %d: est %g != act %g on singleton groups", i, est, act)
+		}
+	}
+}
+
+func TestEstimateFullDomainQueryExact(t *testing.T) {
+	// A query covering the whole QI space and all sensitive values must
+	// estimate exactly N for any grouping.
+	tab := makeTable(120, 9)
+	res := anonymizeK(tab, 7)
+	q := &Query{
+		Attrs: []int{0, 1, 2},
+		Lo:    []int{0, 0, 0},
+		Hi:    []int{49, 1, 3},
+		SVals: map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true},
+	}
+	if est := q.EstimateCount(res); math.Abs(est-120) > 1e-9 {
+		t.Errorf("full-domain estimate = %g, want 120", est)
+	}
+}
+
+func TestRelativeErrorDecreasesWithPrecision(t *testing.T) {
+	// Finer partitions answer more accurately (on average) than one
+	// giant group.
+	tab := makeTable(400, 10)
+	fine := anonymizeK(tab, 3)
+	all := make([]int, tab.N())
+	for i := range all {
+		all[i] = i
+	}
+	coarse := &anonymize.Result{Table: tab, Groups: []*anonymize.Group{
+		{Rows: all, Extent: anonymize.NewExtent(tab, all)},
+	}}
+	wf := &Workload{QD: 2, Sel: 0.1, Queries: 150, Rng: rand.New(rand.NewSource(11))}
+	wc := &Workload{QD: 2, Sel: 0.1, Queries: 150, Rng: rand.New(rand.NewSource(11))}
+	ef := wf.RelativeError(fine)
+	ec := wc.RelativeError(coarse)
+	if ef >= ec {
+		t.Errorf("fine error %g >= coarse error %g", ef, ec)
+	}
+}
+
+func TestWorkloadGenerateRespectsQD(t *testing.T) {
+	tab := makeTable(10, 12)
+	w := &Workload{QD: 2, Sel: 0.1, Queries: 1, Rng: rand.New(rand.NewSource(13))}
+	for i := 0; i < 20; i++ {
+		q := w.Generate(tab.Schema)
+		if len(q.Attrs) != 2 {
+			t.Fatalf("query constrains %d attrs, want 2", len(q.Attrs))
+		}
+		seen := map[int]bool{}
+		for _, a := range q.Attrs {
+			if seen[a] {
+				t.Fatal("duplicate attribute in query")
+			}
+			seen[a] = true
+		}
+		if len(q.SVals) == 0 {
+			t.Fatal("query accepts no sensitive values")
+		}
+	}
+	// QD above d clamps to d.
+	w2 := &Workload{QD: 99, Sel: 0.1, Queries: 1, Rng: rand.New(rand.NewSource(14))}
+	if q := w2.Generate(tab.Schema); len(q.Attrs) != tab.Schema.D() {
+		t.Errorf("QD clamp failed: %d attrs", len(q.Attrs))
+	}
+}
+
+func TestOverlapFraction(t *testing.T) {
+	a := dataset.NewNumeric("Age", []float64{0, 10, 20, 30, 40})
+	// Query covering half the extent.
+	frac := overlapFraction(a, 0, 4, 0, 2)
+	if frac <= 0 || frac >= 1 {
+		t.Errorf("partial overlap = %g, want in (0,1)", frac)
+	}
+	// Disjoint.
+	if f := overlapFraction(a, 0, 1, 3, 4); f != 0 {
+		t.Errorf("disjoint overlap = %g", f)
+	}
+	// Point extent inside query.
+	if f := overlapFraction(a, 2, 2, 0, 4); f != 1 {
+		t.Errorf("point extent overlap = %g", f)
+	}
+	// Full cover.
+	if f := overlapFraction(a, 1, 3, 0, 4); math.Abs(f-1) > 1e-9 {
+		t.Errorf("full cover overlap = %g", f)
+	}
+}
