@@ -1,0 +1,25 @@
+# CI entry points. `make ci` is what every change must keep green:
+# vet, build, the full test suite under the race detector (the
+# parallel engine's safety net), and one pass over every benchmark so
+# the bench targets cannot rot.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...

@@ -14,6 +14,8 @@ import (
 	"repro/internal/distance"
 	"repro/internal/inference"
 	"repro/internal/kernel"
+	"repro/internal/mondrian"
+	"repro/internal/parallel"
 	"repro/internal/prob"
 	"repro/internal/utility"
 )
@@ -21,8 +23,17 @@ import (
 // benchEngine lazily builds a shared engine over a small Adult table.
 func benchEngine(b *testing.B, n int) *core.Engine {
 	b.Helper()
+	return benchEngineWorkers(b, n, 0)
+}
+
+// benchEngineWorkers builds an engine with an explicit pool size
+// (0 = all cores, negative = sequential), for Benchmark*Parallel
+// variants and their sequential baselines.
+func benchEngineWorkers(b *testing.B, n, workers int) *core.Engine {
+	b.Helper()
 	table := adult.Generate(n, 42)
-	e, err := core.New(table, adult.Hierarchies(), nil, nil)
+	e, err := core.New(table, adult.Hierarchies(), nil, nil,
+		core.WithWorkers(parallel.Resolve(workers)))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -306,3 +317,56 @@ func BenchmarkMondrianScaling(b *testing.B) {
 		})
 	}
 }
+
+// benchBreachPass measures the full breach-test pass — posterior
+// inference plus disclosure measurement for every equivalence class of
+// a (B,t) release, under the release's own breach criterion — at a
+// given pool size. This is the engine hot path the parallel layer
+// targets; BenchmarkBreachTest vs BenchmarkBreachTestParallel is the
+// speedup the concurrency layer buys on multi-core hardware.
+func benchBreachPass(b *testing.B, workers int) {
+	e := benchEngineWorkers(b, 2000, workers)
+	p := core.Table5()[0]
+	res, err := e.AnonymizeModel(core.BTPrivacy, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bvec := kernel.UniformBandwidth(e.Table.Schema.D(), 0.4)
+	if _, err := e.Priors(bvec); err != nil { // warm the prior cache
+		b.Fatal(err)
+	}
+	breach := e.BreachTest(core.BTPrivacy, p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Attack(res, bvec, p.T, breach); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBreachTest is the sequential baseline (workers = 1).
+func BenchmarkBreachTest(b *testing.B) { benchBreachPass(b, -1) }
+
+// BenchmarkBreachTestParallel runs the same pass on all cores.
+func BenchmarkBreachTestParallel(b *testing.B) { benchBreachPass(b, 0) }
+
+// benchMondrian measures one Mondrian partitioning of a 2K-tuple table
+// under (ℓ-diversity ∧ k-anonymity) at a given pool size.
+func benchMondrian(b *testing.B, workers int) {
+	e := benchEngineWorkers(b, 2000, workers)
+	req, err := e.Requirement(core.DistinctLDiversity, core.Table5()[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := &mondrian.Partitioner{Table: e.Table, Req: req, Workers: workers}
+		p.Anonymize()
+	}
+}
+
+// BenchmarkMondrian is the sequential partitioning baseline.
+func BenchmarkMondrian(b *testing.B) { benchMondrian(b, -1) }
+
+// BenchmarkMondrianParallel partitions subtrees on all cores.
+func BenchmarkMondrianParallel(b *testing.B) { benchMondrian(b, 0) }

@@ -7,7 +7,7 @@
 //
 //	anonymize [-in data.csv] [-n N] [-seed S]
 //	          [-model distinct|prob|tclose|bt|skyline] [-algo mondrian|anatomy|incognito]
-//	          [-k K] [-l L] [-t T] [-b B] [-stats]
+//	          [-k K] [-l L] [-t T] [-b B] [-stats] [-workers W]
 //
 // Without -in, a synthetic Adult table of size N is generated; the CSV
 // schema is then fixed to the Adult schema (Age numeric; Workclass,
@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/incognito"
+	"repro/internal/parallel"
 	"repro/internal/privacy"
 	"repro/internal/utility"
 )
@@ -41,6 +42,7 @@ func main() {
 	t := flag.Float64("t", 0.25, "closeness / disclosure threshold")
 	b := flag.Float64("b", 0.3, "(B,t) enforcement bandwidth")
 	stats := flag.Bool("stats", false, "print utility statistics instead of the table")
+	workers := flag.Int("workers", 0, "worker pool size (0 = all cores, negative = sequential)")
 	flag.Parse()
 
 	table, err := loadTable(*in, *n, *seed)
@@ -60,7 +62,8 @@ func main() {
 		if lerr != nil {
 			fatal(lerr)
 		}
-		engine, eerr := core.New(table, adult.Hierarchies(), nil, nil)
+		engine, eerr := core.New(table, adult.Hierarchies(), nil, nil,
+			core.WithWorkers(parallel.Resolve(*workers)))
 		if eerr != nil {
 			fatal(eerr)
 		}
@@ -76,7 +79,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "incognito: minimal generalization levels %v\n", node)
 		res = r2
 	case "mondrian":
-		engine, eerr := core.New(table, adult.Hierarchies(), nil, nil)
+		engine, eerr := core.New(table, adult.Hierarchies(), nil, nil,
+			core.WithWorkers(parallel.Resolve(*workers)))
 		if eerr != nil {
 			fatal(eerr)
 		}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	attack [-n N] [-seed S] [-model distinct|prob|tclose|bt] [-k K] [-l L] [-t T] [-b B]
+//	attack [-n N] [-seed S] [-model distinct|prob|tclose|bt] [-k K] [-l L] [-t T] [-b B] [-workers W]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"repro/internal/adult"
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/parallel"
 )
 
 func main() {
@@ -27,6 +28,7 @@ func main() {
 	l := flag.Int("l", 3, "l-diversity parameter")
 	t := flag.Float64("t", 0.25, "closeness / disclosure threshold")
 	b := flag.Float64("b", 0.3, "(B,t) enforcement bandwidth")
+	workers := flag.Int("workers", 0, "worker pool size (0 = all cores, negative = sequential)")
 	flag.Parse()
 
 	models := map[string]core.Model{
@@ -42,7 +44,8 @@ func main() {
 	}
 
 	table := adult.Generate(*n, *seed)
-	eng, err := core.New(table, adult.Hierarchies(), nil, nil)
+	eng, err := core.New(table, adult.Hierarchies(), nil, nil,
+		core.WithWorkers(parallel.Resolve(*workers)))
 	if err != nil {
 		fatal(err)
 	}

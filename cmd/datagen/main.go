@@ -5,6 +5,10 @@
 // Usage:
 //
 //	datagen [-n N] [-seed S] [-o out.csv]
+//
+// Unlike the other binaries, datagen takes no -workers flag:
+// generation draws every record from one seeded rng stream, so the
+// output is reproducible only as a sequential pass.
 package main
 
 import (

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-full] [-n N] [-seed S] [-fig id] [-csv]
+//	experiments [-full] [-n N] [-seed S] [-fig id] [-csv] [-workers W]
 //
 // By default it runs the quick configuration (2K tuples, reduced trial
 // counts). -full switches to the paper's scales (~30K tuples, 100
@@ -28,6 +28,7 @@ func main() {
 	fig := flag.String("fig", "", "run a single figure (e.g. fig1a, ablation-kernels)")
 	abl := flag.Bool("ablations", false, "also run the ablation studies")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	workers := flag.Int("workers", 0, "worker pool size (0 = all cores, negative = sequential)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -38,6 +39,7 @@ func main() {
 		cfg.N = *n
 	}
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 
 	r, err := experiments.NewRunner(cfg)
 	if err != nil {

@@ -15,6 +15,16 @@
 // utility measures, and a full experiment harness regenerating every
 // figure of the paper's evaluation (internal/experiments).
 //
-// Start with examples/quickstart, or see DESIGN.md for the system
-// inventory and EXPERIMENTS.md for the reproduced evaluation.
+// The pipeline's hot paths — breach testing and attacks over
+// equivalence classes, kernel prior estimation over QI profiles,
+// Mondrian subtree descent, and the independent parameter points of
+// each experiment — run on a bounded worker pool with deterministic
+// ordered fan-in (internal/parallel). Output is bit-identical at any
+// pool size; configure it with the -workers flag on the cmd binaries
+// (0 = all cores, negative = sequential) or with core.WithWorkers,
+// where any n ≤ 0 requests the sequential path outright.
+//
+// Start with examples/quickstart or README.md, or see DESIGN.md for
+// the system inventory, the concurrency model, and the index mapping
+// each benchmark to its paper figure.
 package repro

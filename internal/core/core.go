@@ -9,8 +9,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"strconv"
-	"strings"
 	"sync"
 
 	"repro/internal/anonymize"
@@ -20,6 +18,7 @@ import (
 	"repro/internal/inference"
 	"repro/internal/kernel"
 	"repro/internal/mondrian"
+	"repro/internal/parallel"
 	"repro/internal/privacy"
 	"repro/internal/prob"
 )
@@ -95,14 +94,47 @@ type Engine struct {
 	// Method computes posteriors inside (B,t) checks and attacks.
 	Method inference.Method
 
+	workers int // 0 = unset (all cores); set via WithWorkers
+
 	mu     sync.Mutex
-	priors map[string][]prob.Dist
+	priors map[string]*priorEntry
+}
+
+// priorEntry is a singleflight cache slot: concurrent callers for the
+// same bandwidth block on one computation instead of duplicating it.
+type priorEntry struct {
+	once   sync.Once
+	priors []prob.Dist
+	err    error
+}
+
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithWorkers bounds the engine's worker pool for breach testing,
+// attacks, prior estimation, and Mondrian partitioning. n ≤ 0 forces
+// the sequential path; without this option the engine uses all cores.
+// Every setting produces bit-identical results — parallel stages fan
+// in by index and reductions stay ordered.
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n <= 0 {
+			n = -1
+		}
+		e.workers = n
+	}
+}
+
+// Workers returns the engine's effective worker-pool size: the unset
+// field (0) resolves to all cores, WithWorkers' sentinel to 1.
+func (e *Engine) Workers() int {
+	return parallel.Resolve(e.workers)
 }
 
 // New builds an engine. hiers maps attribute names (QI and sensitive)
 // to hierarchies; missing entries fall back to flat hierarchies. A nil
 // kernel defaults to Epanechnikov, a nil method to the Ω-estimate.
-func New(t *dataset.Table, hiers map[string]*hierarchy.Hierarchy, k kernel.Func, method inference.Method) (*Engine, error) {
+func New(t *dataset.Table, hiers map[string]*hierarchy.Hierarchy, k kernel.Func, method inference.Method, opts ...Option) (*Engine, error) {
 	if k == nil {
 		k = kernel.Epanechnikov{}
 	}
@@ -117,7 +149,7 @@ func New(t *dataset.Table, hiers map[string]*hierarchy.Hierarchy, k kernel.Func,
 	if err != nil {
 		return nil, fmt.Errorf("core: sensitive distance matrix: %w", err)
 	}
-	return &Engine{
+	e := &Engine{
 		Table:      t,
 		Hiers:      hiers,
 		Kernel:     k,
@@ -125,37 +157,30 @@ func New(t *dataset.Table, hiers map[string]*hierarchy.Hierarchy, k kernel.Func,
 		SensMatrix: sm,
 		Measure:    distance.NewSmoothedJS(sm, k, SmoothingBandwidth),
 		Method:     method,
-		priors:     map[string][]prob.Dist{},
-	}, nil
-}
-
-// bandKey builds the cache key for a bandwidth vector.
-func bandKey(b []float64) string {
-	parts := make([]string, len(b))
-	for i, x := range b {
-		parts[i] = strconv.FormatFloat(x, 'g', -1, 64)
+		priors:     map[string]*priorEntry{},
 	}
-	return strings.Join(parts, ",")
+	for _, opt := range opts {
+		opt(e)
+	}
+	e.Estimator.Workers = e.Workers()
+	return e, nil
 }
 
 // Priors returns the per-record prior beliefs of adversary Adv(B),
 // computing and caching them on first use.
 func (e *Engine) Priors(b []float64) ([]prob.Dist, error) {
-	key := bandKey(b)
+	key := kernel.BandwidthKey(b)
 	e.mu.Lock()
-	cached, ok := e.priors[key]
-	e.mu.Unlock()
-	if ok {
-		return cached, nil
+	entry, ok := e.priors[key]
+	if !ok {
+		entry = &priorEntry{}
+		e.priors[key] = entry
 	}
-	priors, err := e.Estimator.Priors(b)
-	if err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	e.priors[key] = priors
 	e.mu.Unlock()
-	return priors, nil
+	entry.once.Do(func() {
+		entry.priors, entry.err = e.Estimator.Priors(b)
+	})
+	return entry.priors, entry.err
 }
 
 // UniformPriors is Priors with the uniform bandwidth vector (b,…,b).
@@ -207,7 +232,7 @@ func (e *Engine) BTRequirement(p Params) (privacy.BTPrivacy, error) {
 		Priors:  priors,
 		Measure: e.Measure,
 		Method:  e.Method,
-		Label:   "B=" + bandKey(bvec),
+		Label:   "B=" + kernel.BandwidthKey(bvec),
 	}, nil
 }
 
@@ -225,9 +250,10 @@ func (e *Engine) SkylineRequirement(k int, entries []Params) (privacy.Requiremen
 	return privacy.And{Parts: []privacy.Requirement{privacy.KAnonymity{K: k}, sky}}, nil
 }
 
-// Anonymize runs the Mondrian variant with the given requirement.
+// Anonymize runs the Mondrian variant with the given requirement,
+// partitioning subtrees on the engine's worker pool.
 func (e *Engine) Anonymize(req privacy.Requirement) *anonymize.Result {
-	p := &mondrian.Partitioner{Table: e.Table, Req: req}
+	p := &mondrian.Partitioner{Table: e.Table, Req: req, Workers: e.Workers()}
 	return p.Anonymize()
 }
 
@@ -285,10 +311,25 @@ type AttackReport struct {
 	WorstRisk float64
 }
 
+// groupAttack is one equivalence class's contribution to an attack:
+// per-record risks in group-row order plus the class's breach count
+// and worst gain. Classes are independent, so they evaluate on the
+// worker pool; the report is reduced from these in group order.
+type groupAttack struct {
+	risks      []float64
+	vulnerable int
+	worst      float64
+}
+
 // Attack computes the posterior belief of adversary Adv(bvec) for every
 // record of the released table, records the knowledge gains, and counts
 // breaches under the given criterion. A nil breach counts records whose
 // knowledge gain exceeds t.
+//
+// Equivalence classes are evaluated concurrently on the engine's
+// worker pool. Each class's inference and measurement is
+// self-contained and the reduction runs in group order, so the report
+// is bit-identical to the sequential path at any worker count.
 func (e *Engine) Attack(res *anonymize.Result, bvec []float64, t float64, breach Breach) (*AttackReport, error) {
 	priors, err := e.Priors(bvec)
 	if err != nil {
@@ -299,9 +340,9 @@ func (e *Engine) Attack(res *anonymize.Result, bvec []float64, t float64, breach
 			return e.Measure.Distance(prior, post) > t
 		}
 	}
-	rep := &AttackReport{Risks: make([]float64, e.Table.N())}
 	m := e.Table.Schema.M()
-	for _, g := range res.Groups {
+	perGroup := parallel.Map(e.Workers(), len(res.Groups), func(gi int) groupAttack {
+		g := res.Groups[gi]
 		gp := make([]prob.Dist, g.Size())
 		svals := make([]int, g.Size())
 		for i, ri := range g.Rows {
@@ -309,15 +350,28 @@ func (e *Engine) Attack(res *anonymize.Result, bvec []float64, t float64, breach
 			svals[i] = e.Table.Records[ri].S
 		}
 		posts := e.Method.Posteriors(gp, inference.GroupCounts(svals, m))
-		for i, ri := range g.Rows {
+		ga := groupAttack{risks: make([]float64, g.Size())}
+		for i := range g.Rows {
 			risk := e.Measure.Distance(gp[i], posts[i])
-			rep.Risks[ri] = risk
+			ga.risks[i] = risk
 			if breach(gp[i], posts[i]) {
-				rep.Vulnerable++
+				ga.vulnerable++
 			}
-			if risk > rep.WorstRisk {
-				rep.WorstRisk = risk
+			if risk > ga.worst {
+				ga.worst = risk
 			}
+		}
+		return ga
+	})
+	rep := &AttackReport{Risks: make([]float64, e.Table.N())}
+	for gi, g := range res.Groups {
+		ga := perGroup[gi]
+		for i, ri := range g.Rows {
+			rep.Risks[ri] = ga.risks[i]
+		}
+		rep.Vulnerable += ga.vulnerable
+		if ga.worst > rep.WorstRisk {
+			rep.WorstRisk = ga.worst
 		}
 	}
 	return rep, nil

@@ -10,12 +10,14 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"text/tabwriter"
 
 	"repro/internal/adult"
 	"repro/internal/anonymize"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 )
 
 // Config scales and seeds the experiment suite.
@@ -24,6 +26,15 @@ type Config struct {
 	N int
 	// Seed drives the synthetic data generator and query sampling.
 	Seed int64
+	// Workers bounds the pool used for the engine's hot paths and for
+	// running independent parameter points of each figure concurrently
+	// (0 = all cores, negative = sequential). Figure outputs are
+	// identical at any setting; only the timing figures (Fig4a/4b) are
+	// kept sequential, since wall-clock measurements under contention
+	// would not be comparable. The bound is per stage, not global:
+	// figure-level fan-out and the engine's per-class pool each use W
+	// workers, so peak CPU use can exceed W when both are active.
+	Workers int
 	// Trials is the repetition count for Figure 2 (paper: 100).
 	Trials int
 	// Queries per workload point for Figure 6 (paper-style: 1000).
@@ -110,7 +121,8 @@ type Runner struct {
 	Table  *dataset.Table
 	Engine *core.Engine
 
-	anonCache map[string]*timedResult
+	mu        sync.Mutex
+	anonCache map[string]*anonEntry
 }
 
 type timedResult struct {
@@ -118,14 +130,40 @@ type timedResult struct {
 	seconds float64
 }
 
+// anonEntry is a singleflight cache slot: parameter points running
+// concurrently that need the same release block on one anonymization
+// instead of duplicating it.
+type anonEntry struct {
+	once sync.Once
+	tr   *timedResult
+	err  error
+}
+
 // NewRunner generates the dataset and builds the engine.
 func NewRunner(cfg Config) (*Runner, error) {
 	table := adult.Generate(cfg.N, cfg.Seed)
-	eng, err := core.New(table, adult.Hierarchies(), nil, nil)
+	eng, err := core.New(table, adult.Hierarchies(), nil, nil,
+		core.WithWorkers(parallel.Resolve(cfg.Workers)))
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{Cfg: cfg, Table: table, Engine: eng, anonCache: map[string]*timedResult{}}, nil
+	return &Runner{Cfg: cfg, Table: table, Engine: eng, anonCache: map[string]*anonEntry{}}, nil
+}
+
+// workers resolves the configured pool size for figure-level fan-out.
+func (r *Runner) workers() int { return parallel.Resolve(r.Cfg.Workers) }
+
+// cached runs compute exactly once for key and memoizes the outcome.
+func (r *Runner) cached(key string, compute func() (*timedResult, error)) (*timedResult, error) {
+	r.mu.Lock()
+	e, ok := r.anonCache[key]
+	if !ok {
+		e = &anonEntry{}
+		r.anonCache[key] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() { e.tr, e.err = compute() })
+	return e.tr, e.err
 }
 
 // All regenerates every figure in paper order.

@@ -6,23 +6,21 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/parallel"
 )
 
 // paraName labels the paper's Table V parameter sets.
 func paraName(i int) string { return fmt.Sprintf("para%d", i+1) }
 
 // anonymized returns the cached release for (model, para), anonymizing
-// and timing it on first use.
+// and timing it on first use. Safe for concurrent parameter points:
+// the first caller computes, later ones share the result.
 func (r *Runner) anonymized(m core.Model, p core.Params) (*timedResult, error) {
 	key := fmt.Sprintf("%s|k=%d,l=%d,t=%g,b=%g", m, p.K, p.L, p.T, p.B)
-	if tr, ok := r.anonCache[key]; ok {
-		return tr, nil
-	}
-	tr, err := r.anonymizeNow(m, p)
+	tr, err := r.cached(key, func() (*timedResult, error) { return r.anonymizeNow(m, p) })
 	if err != nil {
 		return nil, fmt.Errorf("experiments: anonymizing %s: %w", key, err)
 	}
-	r.anonCache[key] = tr
 	return tr, nil
 }
 
@@ -56,7 +54,8 @@ func (r *Runner) Fig1a() (*Report, error) {
 		Header: []string{"b'", "distinct-l-diversity", "probabilistic-l-diversity", "t-closeness", "(B,t)-privacy"},
 		Notes:  "cells: number of vulnerable tuples; expected shape: decreasing in b', (B,t) lowest",
 	}
-	for _, bp := range r.Cfg.BPrimes {
+	rows, err := parallel.MapErr(r.workers(), len(r.Cfg.BPrimes), func(i int) ([]string, error) {
+		bp := r.Cfg.BPrimes[i]
 		row := []string{fmtF(bp)}
 		bvec := kernel.UniformBandwidth(r.Table.Schema.D(), bp)
 		for _, m := range core.AllModels() {
@@ -70,8 +69,12 @@ func (r *Runner) Fig1a() (*Report, error) {
 			}
 			row = append(row, fmtI(att.Vulnerable))
 		}
-		rep.Rows = append(rep.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	rep.Rows = rows
 	return rep, nil
 }
 
@@ -86,7 +89,9 @@ func (r *Runner) Fig1b() (*Report, error) {
 		Notes:  "cells: number of vulnerable tuples; expected shape: (B,t) lowest in every row",
 	}
 	bvec := kernel.UniformBandwidth(r.Table.Schema.D(), bPrime)
-	for pi, p := range core.Table5() {
+	paras := core.Table5()
+	rows, err := parallel.MapErr(r.workers(), len(paras), func(pi int) ([]string, error) {
+		p := paras[pi]
 		row := []string{paraName(pi)}
 		for _, m := range core.AllModels() {
 			tr, err := r.anonymized(m, p)
@@ -99,7 +104,11 @@ func (r *Runner) Fig1b() (*Report, error) {
 			}
 			row = append(row, fmtI(att.Vulnerable))
 		}
-		rep.Rows = append(rep.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	rep.Rows = rows
 	return rep, nil
 }

@@ -16,6 +16,9 @@ import (
 //	ρ = (1/N) Σ_j |D[P_exa, P_pri] − D[P_ome, P_pri]|
 //
 // averaged over trials. The paper finds ρ within 0.1 everywhere.
+//
+// Fig2 stays sequential: all cells draw from one seeded rng stream,
+// so fanning points out would change which groups each trial samples.
 func (r *Runner) Fig2() (*Report, error) {
 	rep := &Report{
 		ID:     "fig2",

@@ -3,6 +3,7 @@ package experiments
 import (
 	"repro/internal/core"
 	"repro/internal/kernel"
+	"repro/internal/parallel"
 )
 
 // Fig3a reproduces Figure 3(a): the continuity of the worst-case
@@ -23,14 +24,20 @@ func (r *Runner) Fig3a() (*Report, error) {
 	for _, bp := range r.Cfg.BPrimes {
 		rep.Header = append(rep.Header, "b'="+fmtF(bp))
 	}
+	var sweep []float64
 	for b := 0.2; b <= 0.5+1e-9; b += r.Cfg.Fig3aStep {
+		sweep = append(sweep, b)
+	}
+	// Every sweep point anonymizes its own table, so this is the
+	// suite's widest fan-out: one release per point, all independent.
+	rows, err := parallel.MapErr(r.workers(), len(sweep), func(i int) ([]string, error) {
 		p := base
-		p.B = b
+		p.B = sweep[i]
 		tr, err := r.anonymized(core.BTPrivacy, p)
 		if err != nil {
 			return nil, err
 		}
-		row := []string{fmtF(b)}
+		row := []string{fmtF(sweep[i])}
 		for _, bp := range r.Cfg.BPrimes {
 			risk, err := r.Engine.WorstCaseRisk(tr.res, kernel.UniformBandwidth(r.Table.Schema.D(), bp))
 			if err != nil {
@@ -38,8 +45,12 @@ func (r *Runner) Fig3a() (*Report, error) {
 			}
 			row = append(row, fmtF(risk))
 		}
-		rep.Rows = append(rep.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	rep.Rows = rows
 	return rep, nil
 }
 
@@ -63,30 +74,37 @@ func (r *Runner) Fig3b() (*Report, error) {
 	}
 	adv := kernel.UniformBandwidth(r.Table.Schema.D(), bPrime)
 	d := r.Table.Schema.D()
-	for _, b1 := range bvals {
-		row := []string{fmtF(b1)}
-		for _, b2 := range bvals {
-			bvec := make([]float64, d)
-			for i := range bvec {
-				if i < d/2 {
-					bvec[i] = b1
-				} else {
-					bvec[i] = b2
-				}
+	// Fan out over grid cells — each (b1,b2) point anonymizes its own
+	// table — and reassemble the rows in grid order afterwards.
+	n := len(bvals)
+	cells, err := parallel.MapErr(r.workers(), n*n, func(ci int) (string, error) {
+		b1, b2 := bvals[ci/n], bvals[ci%n]
+		bvec := make([]float64, d)
+		for i := range bvec {
+			if i < d/2 {
+				bvec[i] = b1
+			} else {
+				bvec[i] = b2
 			}
-			p := base
-			p.BVec = bvec
-			p.B = 0
-			tr, err := r.anonymized2(core.BTPrivacy, p, "b1="+fmtF(b1)+",b2="+fmtF(b2))
-			if err != nil {
-				return nil, err
-			}
-			risk, err := r.Engine.WorstCaseRisk(tr.res, adv)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmtF(risk))
 		}
+		p := base
+		p.BVec = bvec
+		p.B = 0
+		tr, err := r.anonymized2(core.BTPrivacy, p, "b1="+fmtF(b1)+",b2="+fmtF(b2))
+		if err != nil {
+			return "", err
+		}
+		risk, err := r.Engine.WorstCaseRisk(tr.res, adv)
+		if err != nil {
+			return "", err
+		}
+		return fmtF(risk), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b1 := range bvals {
+		row := append([]string{fmtF(b1)}, cells[i*n:(i+1)*n]...)
 		rep.Rows = append(rep.Rows, row)
 	}
 	return rep, nil
@@ -96,13 +114,5 @@ func (r *Runner) Fig3b() (*Report, error) {
 // for parameter sets that differ in BVec rather than scalar fields.
 func (r *Runner) anonymized2(m core.Model, p core.Params, suffix string) (*timedResult, error) {
 	key := m.String() + "|" + suffix
-	if tr, ok := r.anonCache[key]; ok {
-		return tr, nil
-	}
-	tr, err := r.anonymizeNow(m, p)
-	if err != nil {
-		return nil, err
-	}
-	r.anonCache[key] = tr
-	return tr, nil
+	return r.cached(key, func() (*timedResult, error) { return r.anonymizeNow(m, p) })
 }

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/utility"
 )
 
@@ -26,13 +27,17 @@ func (r *Runner) Fig6a() (*Report, error) {
 		Notes:  "cells: average relative error (%); expected shape: decreasing in qd",
 	}
 	p := core.Table5()[0]
-	for qd := 2; qd <= 6; qd++ {
+	qds := []int{2, 3, 4, 5, 6}
+	rows, err := parallel.MapErr(r.workers(), len(qds), func(i int) ([]string, error) {
+		qd := qds[i]
 		row := []string{fmtI(qd)}
 		for _, m := range core.AllModels() {
 			tr, err := r.anonymized(m, p)
 			if err != nil {
 				return nil, err
 			}
+			// Each point owns its seeded Rng, so rows are independent
+			// and identical to the sequential run.
 			w := &utility.Workload{
 				QD:      qd,
 				Sel:     fig6FixedSel,
@@ -41,8 +46,12 @@ func (r *Runner) Fig6a() (*Report, error) {
 			}
 			row = append(row, fmtF(100*w.RelativeError(tr.res)))
 		}
-		rep.Rows = append(rep.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	rep.Rows = rows
 	return rep, nil
 }
 
@@ -57,8 +66,9 @@ func (r *Runner) Fig6b() (*Report, error) {
 		Notes:  "cells: average relative error (%); expected shape: decreasing in sel",
 	}
 	p := core.Table5()[0]
-	for si, sel := range []float64{0.03, 0.05, 0.07, 0.1, 0.12} {
-		row := []string{fmtF(sel)}
+	sels := []float64{0.03, 0.05, 0.07, 0.1, 0.12}
+	rows, err := parallel.MapErr(r.workers(), len(sels), func(si int) ([]string, error) {
+		row := []string{fmtF(sels[si])}
 		for _, m := range core.AllModels() {
 			tr, err := r.anonymized(m, p)
 			if err != nil {
@@ -66,13 +76,17 @@ func (r *Runner) Fig6b() (*Report, error) {
 			}
 			w := &utility.Workload{
 				QD:      fig6FixedQD,
-				Sel:     sel,
+				Sel:     sels[si],
 				Queries: r.Cfg.Queries,
 				Rng:     rand.New(rand.NewSource(r.Cfg.Seed + int64(1000+si))),
 			}
 			row = append(row, fmtF(100*w.RelativeError(tr.res)))
 		}
-		rep.Rows = append(rep.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	rep.Rows = rows
 	return rep, nil
 }

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestFiguresDeterministicAcrossWorkers regenerates the parallelized
+// figures sequentially and with an oversubscribed pool and requires
+// byte-identical reports — the suite-level determinism contract.
+func TestFiguresDeterministicAcrossWorkers(t *testing.T) {
+	mk := func(workers int) *Runner {
+		cfg := tinyConfig()
+		cfg.Workers = workers
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	seq, par := mk(-1), mk(8)
+	figs := []struct {
+		name string
+		run  func(*Runner) (*Report, error)
+	}{
+		{"fig1a", (*Runner).Fig1a},
+		{"fig1b", (*Runner).Fig1b},
+		{"fig3a", (*Runner).Fig3a},
+		{"fig3b", (*Runner).Fig3b},
+		{"fig6a", (*Runner).Fig6a},
+		{"fig6b", (*Runner).Fig6b},
+	}
+	for _, f := range figs {
+		want, err := f.run(seq)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", f.name, err)
+		}
+		got, err := f.run(par)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", f.name, err)
+		}
+		if got.String() != want.String() {
+			t.Errorf("%s differs across worker counts\nseq:\n%s\npar:\n%s", f.name, want, got)
+		}
+	}
+}

@@ -2,11 +2,13 @@ package kernel
 
 import (
 	"fmt"
-	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/hierarchy"
+	"repro/internal/parallel"
 	"repro/internal/prob"
 )
 
@@ -26,7 +28,18 @@ type Estimator struct {
 	Table    *dataset.Table
 	Matrices [][][]float64 // per QI attribute: domain×domain distances
 
+	// Workers bounds the pool computing per-profile priors, under the
+	// parallel package convention (0 = all cores, negative =
+	// sequential). Output is identical at any setting.
+	Workers int
+
 	profiles []*dataset.Profile
+
+	// Weight tables are memoized per bandwidth vector: attack sweeps
+	// and skyline requirements revisit the same few bandwidths, and a
+	// table depends only on (kernel, matrices, b).
+	wmu    sync.Mutex
+	wcache map[string][][][]float64
 }
 
 // NewEstimator prepares an estimator for the table. hiers supplies
@@ -92,7 +105,9 @@ func (e *Estimator) Priors(b []float64) ([]prob.Dist, error) {
 }
 
 // ProfilePriors estimates one prior distribution per distinct QI
-// profile, parallelized across profiles.
+// profile, parallelized across profiles with ordered fan-in: each
+// profile's Nadaraya–Watson sum is self-contained, so the result is
+// bit-identical at any worker count.
 func (e *Estimator) ProfilePriors(b []float64) ([]prob.Dist, error) {
 	if err := e.validateBandwidth(b); err != nil {
 		return nil, err
@@ -100,30 +115,9 @@ func (e *Estimator) ProfilePriors(b []float64) ([]prob.Dist, error) {
 	weights := e.weightTables(b)
 	m := e.Table.Schema.M()
 	out := make([]prob.Dist, len(e.profiles))
-
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(e.profiles) {
-		workers = len(e.profiles)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for pi := range next {
-				out[pi] = e.priorForProfile(e.profiles[pi], weights, m)
-			}
-		}()
-	}
-	for pi := range e.profiles {
-		next <- pi
-	}
-	close(next)
-	wg.Wait()
+	parallel.For(e.Workers, len(e.profiles), func(pi int) {
+		out[pi] = e.priorForProfile(e.profiles[pi], weights, m)
+	})
 	return out, nil
 }
 
@@ -138,11 +132,45 @@ func (e *Estimator) PriorAt(q []int, b []float64) (prob.Dist, error) {
 	return e.priorForProfile(p, weights, e.Table.Schema.M()), nil
 }
 
+// BandwidthKey renders a bandwidth vector as a canonical cache key,
+// shared by the estimator's weight-table cache and the engine's prior
+// cache.
+func BandwidthKey(b []float64) string {
+	parts := make([]string, len(b))
+	for i, x := range b {
+		parts[i] = strconv.FormatFloat(x, 'g', -1, 64)
+	}
+	return strings.Join(parts, ",")
+}
+
+// weightTables returns the memoized per-attribute weight tables for a
+// bandwidth vector. Tables are immutable once published; concurrent
+// first calls may both compute, but the first to store wins and both
+// computations are identical.
 func (e *Estimator) weightTables(b []float64) [][][]float64 {
+	key := BandwidthKey(b)
+	e.wmu.Lock()
+	if e.wcache == nil {
+		e.wcache = map[string][][][]float64{}
+	}
+	if w, ok := e.wcache[key]; ok {
+		e.wmu.Unlock()
+		return w
+	}
+	e.wmu.Unlock()
+
 	w := make([][][]float64, len(e.Matrices))
 	for i, m := range e.Matrices {
 		w[i] = WeightTable(e.Kernel, m, b[i])
 	}
+
+	e.wmu.Lock()
+	if prev, ok := e.wcache[key]; ok {
+		w = prev
+	} else {
+		e.wcache[key] = w
+	}
+	e.wmu.Unlock()
 	return w
 }
 

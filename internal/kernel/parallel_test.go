@@ -1,0 +1,84 @@
+package kernel
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/adult"
+)
+
+// TestProfilePriorsDeterministicAcrossWorkers checks prior estimation
+// is bit-identical at any pool size — each profile's Nadaraya–Watson
+// sum is self-contained, so no float reassociation can occur.
+func TestProfilePriorsDeterministicAcrossWorkers(t *testing.T) {
+	tab := adult.Generate(300, 11)
+	b := UniformBandwidth(tab.Schema.D(), 0.3)
+	mk := func(workers int) *Estimator {
+		e, err := NewEstimator(tab, adult.Hierarchies(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Workers = workers
+		return e
+	}
+	want, err := mk(-1).ProfilePriors(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 0} {
+		got, err := mk(workers).ProfilePriors(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: profile priors differ from sequential", workers)
+		}
+	}
+}
+
+// TestWeightTablesMemoized checks the per-bandwidth weight tables are
+// computed once and shared: a repeated bandwidth returns the cached
+// tables, and a different bandwidth gets its own entry.
+func TestWeightTablesMemoized(t *testing.T) {
+	tab := adult.Generate(100, 11)
+	e, err := NewEstimator(tab, adult.Hierarchies(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := UniformBandwidth(tab.Schema.D(), 0.3)
+	w1 := e.weightTables(b1)
+	w2 := e.weightTables(b1)
+	if &w1[0] != &w2[0] {
+		t.Error("repeated bandwidth recomputed the weight tables instead of hitting the cache")
+	}
+	w3 := e.weightTables(UniformBandwidth(tab.Schema.D(), 0.5))
+	if &w1[0] == &w3[0] {
+		t.Error("distinct bandwidths shared one cache entry")
+	}
+	if len(e.wcache) != 2 {
+		t.Errorf("cache holds %d entries, want 2", len(e.wcache))
+	}
+}
+
+// TestWeightTablesConcurrentFirstUse hammers the cache from many
+// goroutines on a cold key; the race detector guards the locking
+// discipline and every caller must see a usable table.
+func TestWeightTablesConcurrentFirstUse(t *testing.T) {
+	tab := adult.Generate(100, 11)
+	e, err := NewEstimator(tab, adult.Hierarchies(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := UniformBandwidth(tab.Schema.D(), 0.4)
+	done := make(chan [][][]float64, 16)
+	for i := 0; i < 16; i++ {
+		go func() { done <- e.weightTables(b) }()
+	}
+	want := <-done
+	for i := 1; i < 16; i++ {
+		got := <-done
+		if !reflect.DeepEqual(got, want) {
+			t.Fatal("concurrent first-use calls returned different tables")
+		}
+	}
+}

@@ -12,8 +12,15 @@ import (
 
 	"repro/internal/anonymize"
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 	"repro/internal/privacy"
 )
+
+// DefaultParallelDepth is the recursion depth below which subtree
+// goroutines are no longer spawned: past it, subproblems are too small
+// to amortize a goroutine, and the token pool has long been saturated
+// by the shallow splits anyway.
+const DefaultParallelDepth = 16
 
 // Partitioner holds the anonymization configuration.
 type Partitioner struct {
@@ -21,7 +28,18 @@ type Partitioner struct {
 	// Req is checked on both halves of every candidate split; the root
 	// partition is accepted unconditionally (the whole table is always
 	// publishable as a single group — it carries no QI information).
+	// It must be safe for concurrent calls when Workers permits more
+	// than one; every requirement in this module is read-only after
+	// construction.
 	Req privacy.Requirement
+	// Workers bounds the goroutines partitioning subtrees concurrently,
+	// under the parallel package convention (0 = all cores, negative =
+	// sequential). The group list is identical at any setting: a
+	// spawned right subtree collects into its own slice and is
+	// appended after the left, preserving the in-order traversal.
+	Workers int
+	// ParallelDepth overrides DefaultParallelDepth when positive.
+	ParallelDepth int
 }
 
 // Anonymize runs Mondrian and returns the anonymized result.
@@ -35,22 +53,49 @@ func (p *Partitioner) Anonymize() *anonymize.Result {
 		Algorithm:   "mondrian",
 		Requirement: p.Req.Name(),
 	}
-	p.recurse(rows, &res.Groups)
+	// The calling goroutine counts as one worker, so the limiter hands
+	// out workers−1 extra tokens; at one worker it always refuses and
+	// the recursion is the plain sequential algorithm.
+	lim := parallel.NewLimiter(parallel.Resolve(p.Workers) - 1)
+	p.recurse(rows, 0, &res.Groups, lim)
 	return res
+}
+
+// maxDepth returns the depth bound for spawning subtree goroutines.
+func (p *Partitioner) maxDepth() int {
+	if p.ParallelDepth > 0 {
+		return p.ParallelDepth
+	}
+	return DefaultParallelDepth
 }
 
 // recurse splits rows as long as an allowable cut exists: dimensions
 // are tried in decreasing normalized width, and the first median cut
-// whose halves both satisfy the requirement is taken.
-func (p *Partitioner) recurse(rows []int, out *[]*anonymize.Group) {
+// whose halves both satisfy the requirement is taken. Above the depth
+// bound, the right subtree descends on its own goroutine when the
+// limiter grants a token.
+func (p *Partitioner) recurse(rows []int, depth int, out *[]*anonymize.Group, lim *parallel.Limiter) {
 	for _, dim := range p.dimensionsByWidth(rows) {
 		left, right := p.medianSplit(rows, dim)
 		if left == nil {
 			continue
 		}
 		if p.Req.Satisfied(left) && p.Req.Satisfied(right) {
-			p.recurse(left, out)
-			p.recurse(right, out)
+			if depth < p.maxDepth() && lim.TryAcquire() {
+				var rightGroups []*anonymize.Group
+				done := make(chan struct{})
+				go func() {
+					defer close(done)
+					p.recurse(right, depth+1, &rightGroups, lim)
+					lim.Release()
+				}()
+				p.recurse(left, depth+1, out, lim)
+				<-done
+				*out = append(*out, rightGroups...)
+			} else {
+				p.recurse(left, depth+1, out, lim)
+				p.recurse(right, depth+1, out, lim)
+			}
 			return
 		}
 	}
