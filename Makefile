@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+.PHONY: ci vet build test race bench serve loadgen
 
 ci: vet build race bench
 
@@ -23,3 +23,12 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Serving layer: `make serve` runs the HTTP service on :8080;
+# `make loadgen` drives a running instance with the default mixed
+# anonymize/attack/risk scenario and prints the throughput report.
+serve:
+	$(GO) run ./cmd/serve
+
+loadgen:
+	$(GO) run ./cmd/loadgen

@@ -6,7 +6,13 @@
 package repro
 
 import (
+	"encoding/json"
+	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/adult"
@@ -17,6 +23,7 @@ import (
 	"repro/internal/mondrian"
 	"repro/internal/parallel"
 	"repro/internal/prob"
+	"repro/internal/service"
 	"repro/internal/utility"
 )
 
@@ -349,6 +356,48 @@ func BenchmarkBreachTest(b *testing.B) { benchBreachPass(b, -1) }
 
 // BenchmarkBreachTestParallel runs the same pass on all cores.
 func BenchmarkBreachTestParallel(b *testing.B) { benchBreachPass(b, 0) }
+
+// BenchmarkServeAttack measures the serving path end to end: an
+// in-process httptest server with a warm release store handling
+// POST /v1/attack — JSON decode, release lookup, a full attack pass on
+// the shared pool, JSON encode. This is the per-request cost a client
+// of cmd/serve pays at steady state (cmd/loadgen reports the same path
+// under concurrency).
+func BenchmarkServeAttack(b *testing.B) {
+	srv := service.New(service.Config{Workers: 0})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post := func(path, body string) []byte {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, err := io.ReadAll(resp.Body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d: %s", resp.StatusCode, out)
+		}
+		return out
+	}
+	var ds service.DatasetResponse
+	if err := json.Unmarshal(post("/v1/datasets", `{"n":1000,"seed":42}`), &ds); err != nil {
+		b.Fatal(err)
+	}
+	var rel service.AnonymizeResponse
+	if err := json.Unmarshal(post("/v1/anonymize", fmt.Sprintf(`{"dataset":%q,"model":"bt"}`, ds.ID)), &rel); err != nil {
+		b.Fatal(err)
+	}
+	attackBody := fmt.Sprintf(`{"release":%q,"bprime":0.4}`, rel.Release)
+	post("/v1/attack", attackBody) // warm the prior cache for b'=0.4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		post("/v1/attack", attackBody)
+	}
+}
 
 // benchMondrian measures one Mondrian partitioning of a 2K-tuple table
 // under (ℓ-diversity ∧ k-anonymity) at a given pool size.

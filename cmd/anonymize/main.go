@@ -21,80 +21,43 @@ import (
 	"os"
 
 	"repro/internal/adult"
-	"repro/internal/anatomy"
-	"repro/internal/anonymize"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/incognito"
 	"repro/internal/parallel"
-	"repro/internal/privacy"
 	"repro/internal/utility"
 )
 
 func main() {
 	in := flag.String("in", "", "input CSV with Adult schema (default: synthesize)")
-	n := flag.Int("n", 2000, "synthetic table size when -in is absent")
-	seed := flag.Int64("seed", 42, "generator seed")
-	model := flag.String("model", "bt", "privacy model: distinct|prob|tclose|bt|skyline")
+	n := cli.N(2000, "synthetic table size when -in is absent")
+	seed := cli.Seed()
+	model := cli.ModelFlags("bt", "distinct|prob|tclose|bt|skyline")
 	algo := flag.String("algo", "mondrian", "algorithm: mondrian|anatomy|incognito")
-	k := flag.Int("k", 3, "k-anonymity parameter")
-	l := flag.Int("l", 3, "l-diversity parameter")
-	t := flag.Float64("t", 0.25, "closeness / disclosure threshold")
-	b := flag.Float64("b", 0.3, "(B,t) enforcement bandwidth")
 	stats := flag.Bool("stats", false, "print utility statistics instead of the table")
-	workers := flag.Int("workers", 0, "worker pool size (0 = all cores, negative = sequential)")
+	workers := cli.Workers()
 	flag.Parse()
 
 	table, err := loadTable(*in, *n, *seed)
 	if err != nil {
-		fatal(err)
+		cli.Fatal("anonymize", err)
 	}
 
-	var res *anonymize.Result
-	switch *algo {
-	case "anatomy":
-		res, err = anatomy.Anatomize(table, *l)
-		if err != nil {
-			fatal(err)
-		}
-	case "incognito":
-		ladders, lerr := incognito.AdultLadders(table.Schema, adult.Hierarchies())
-		if lerr != nil {
-			fatal(lerr)
-		}
-		engine, eerr := core.New(table, adult.Hierarchies(), nil, nil,
-			core.WithWorkers(parallel.Resolve(*workers)))
-		if eerr != nil {
-			fatal(eerr)
-		}
-		req, rerr := modelRequirement(engine, *model, core.Params{K: *k, L: *l, T: *t, B: *b})
-		if rerr != nil {
-			fatal(rerr)
-		}
-		g := &incognito.Generalizer{Table: table, Ladders: ladders, Req: req}
-		node, r2, serr := g.Search()
-		if serr != nil {
-			fatal(serr)
-		}
-		fmt.Fprintf(os.Stderr, "incognito: minimal generalization levels %v\n", node)
-		res = r2
-	case "mondrian":
-		engine, eerr := core.New(table, adult.Hierarchies(), nil, nil,
-			core.WithWorkers(parallel.Resolve(*workers)))
-		if eerr != nil {
-			fatal(eerr)
-		}
-		req, rerr := modelRequirement(engine, *model, core.Params{K: *k, L: *l, T: *t, B: *b})
-		if rerr != nil {
-			fatal(rerr)
-		}
-		res = engine.Anonymize(req)
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	// The engine is built for every algorithm — anatomy only needs the
+	// table, but construction is lazy about the expensive parts (kernel
+	// weights, priors) and costs ~10ms even at the paper's 30K scale,
+	// which one shared dispatch path is worth.
+	engine, err := core.New(table, adult.Hierarchies(), nil, nil,
+		core.WithWorkers(parallel.Resolve(*workers)))
+	if err != nil {
+		cli.Fatal("anonymize", err)
 	}
-
-	if err := res.Validate(); err != nil {
-		fatal(err)
+	res, levels, err := engine.RunAlgorithm(*algo, *model.Name, model.Params())
+	if err != nil {
+		cli.Fatal("anonymize", err)
+	}
+	if levels != nil {
+		fmt.Fprintf(os.Stderr, "incognito: minimal generalization levels %v\n", levels)
 	}
 	if *stats {
 		fmt.Printf("algorithm:    %s\n", res.Algorithm)
@@ -109,29 +72,6 @@ func main() {
 	fmt.Print(res.Render())
 }
 
-// modelRequirement maps a -model flag value to a composed privacy
-// requirement on the engine's table.
-func modelRequirement(e *core.Engine, model string, p core.Params) (privacy.Requirement, error) {
-	switch model {
-	case "distinct":
-		return e.Requirement(core.DistinctLDiversity, p)
-	case "prob":
-		return e.Requirement(core.ProbabilisticLDiversity, p)
-	case "tclose":
-		return e.Requirement(core.TCloseness, p)
-	case "bt":
-		return e.Requirement(core.BTPrivacy, p)
-	case "skyline":
-		return e.SkylineRequirement(p.K, []core.Params{
-			{B: 0.2, T: p.T},
-			{B: p.B, T: p.T},
-			{B: 0.5, T: p.T + 0.05},
-		})
-	default:
-		return nil, fmt.Errorf("unknown model %q", model)
-	}
-}
-
 func loadTable(path string, n int, seed int64) (*dataset.Table, error) {
 	if path == "" {
 		return adult.Generate(n, seed), nil
@@ -141,18 +81,5 @@ func loadTable(path string, n int, seed int64) (*dataset.Table, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return dataset.ReadCSV(f, []dataset.ColumnSpec{
-		{Name: "Age", Kind: dataset.Numeric},
-		{Name: "Workclass", Kind: dataset.Categorical},
-		{Name: "Education", Kind: dataset.Categorical},
-		{Name: "Marital-status", Kind: dataset.Categorical},
-		{Name: "Race", Kind: dataset.Categorical},
-		{Name: "Sex", Kind: dataset.Categorical},
-		{Name: "Occupation", Kind: dataset.Categorical, Sensitive: true},
-	})
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "anonymize:", err)
-	os.Exit(1)
+	return dataset.ReadCSV(f, adult.Specs())
 }

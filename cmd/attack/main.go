@@ -11,48 +11,37 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"sort"
 
 	"repro/internal/adult"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/kernel"
 	"repro/internal/parallel"
 )
 
 func main() {
-	n := flag.Int("n", 5000, "table size")
-	seed := flag.Int64("seed", 42, "generator seed")
-	model := flag.String("model", "distinct", "privacy model: distinct|prob|tclose|bt")
-	k := flag.Int("k", 3, "k-anonymity parameter")
-	l := flag.Int("l", 3, "l-diversity parameter")
-	t := flag.Float64("t", 0.25, "closeness / disclosure threshold")
-	b := flag.Float64("b", 0.3, "(B,t) enforcement bandwidth")
-	workers := flag.Int("workers", 0, "worker pool size (0 = all cores, negative = sequential)")
+	n := cli.N(5000, "table size")
+	seed := cli.Seed()
+	model := cli.ModelFlags("distinct", "distinct|prob|tclose|bt")
+	workers := cli.Workers()
 	flag.Parse()
 
-	models := map[string]core.Model{
-		"distinct": core.DistinctLDiversity,
-		"prob":     core.ProbabilisticLDiversity,
-		"tclose":   core.TCloseness,
-		"bt":       core.BTPrivacy,
-	}
-	m, ok := models[*model]
+	m, ok := core.ParseModel(*model.Name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "attack: unknown model %q\n", *model)
-		os.Exit(2)
+		cli.Fatal("attack", fmt.Errorf("unknown model %q", *model.Name))
 	}
 
 	table := adult.Generate(*n, *seed)
 	eng, err := core.New(table, adult.Hierarchies(), nil, nil,
 		core.WithWorkers(parallel.Resolve(*workers)))
 	if err != nil {
-		fatal(err)
+		cli.Fatal("attack", err)
 	}
-	params := core.Params{K: *k, L: *l, T: *t, B: *b}
+	params := model.Params()
 	res, err := eng.AnonymizeModel(m, params)
 	if err != nil {
-		fatal(err)
+		cli.Fatal("attack", err)
 	}
 	fmt.Printf("release: %s via %s, %d groups over %d records (avg size %.1f)\n",
 		res.Requirement, res.Algorithm, len(res.Groups), table.N(),
@@ -64,7 +53,7 @@ func main() {
 		bvec := kernel.UniformBandwidth(table.Schema.D(), bp)
 		priors, err := eng.Priors(bvec)
 		if err != nil {
-			fatal(err)
+			cli.Fatal("attack", err)
 		}
 		sharp := 0.0
 		for _, p := range priors {
@@ -72,9 +61,9 @@ func main() {
 			sharp += mx
 		}
 		sharp /= float64(len(priors))
-		rep, err := eng.Attack(res, bvec, *t, eng.BreachTest(m, params))
+		rep, err := eng.Attack(res, bvec, params.T, eng.BreachTest(m, params))
 		if err != nil {
-			fatal(err)
+			cli.Fatal("attack", err)
 		}
 		risks := core.SortedRisks(rep)
 		mean := 0.0
@@ -87,9 +76,4 @@ func main() {
 		fmt.Printf("%-6.2f %-10.4f %-10.4f %-10.4f %-10.4f %-10d\n",
 			bp, sharp, mean, p90, rep.WorstRisk, rep.Vulnerable)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "attack:", err)
-	os.Exit(1)
 }

@@ -4,26 +4,28 @@
 //
 // Usage:
 //
-//	datagen [-n N] [-seed S] [-o out.csv]
+//	datagen [-n N] [-seed S] [-o out.csv] [-workers W]
 //
-// Unlike the other binaries, datagen takes no -workers flag:
-// generation draws every record from one seeded rng stream, so the
-// output is reproducible only as a sequential pass.
+// Generation itself draws every record from one seeded rng stream, so
+// it stays a sequential pass for reproducibility; -workers follows the
+// shared convention and fans out the CSV rendering of the generated
+// rows (byte-identical output at any pool size).
 package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
 
 	"repro/internal/adult"
+	"repro/internal/cli"
 	"repro/internal/dataset"
 )
 
 func main() {
-	n := flag.Int("n", 30000, "number of records")
-	seed := flag.Int64("seed", 42, "generator seed")
+	n := cli.N(30000, "number of records")
+	seed := cli.Seed()
 	out := flag.String("o", "", "output file (default stdout)")
+	workers := cli.Workers()
 	flag.Parse()
 
 	table := adult.Generate(*n, *seed)
@@ -31,17 +33,12 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			cli.Fatal("datagen", err)
 		}
 		defer f.Close()
 		w = f
 	}
-	if err := dataset.WriteCSV(w, table); err != nil {
-		fatal(err)
+	if err := dataset.WriteCSVWorkers(w, table, *workers); err != nil {
+		cli.Fatal("datagen", err)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "datagen:", err)
-	os.Exit(1)
 }

@@ -18,17 +18,18 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/experiments"
 )
 
 func main() {
 	full := flag.Bool("full", false, "run at the paper's scales (slow)")
-	n := flag.Int("n", 0, "override table size")
-	seed := flag.Int64("seed", 42, "data generator seed")
+	n := cli.N(0, "override table size (0 = configuration default)")
+	seed := cli.Seed()
 	fig := flag.String("fig", "", "run a single figure (e.g. fig1a, ablation-kernels)")
 	abl := flag.Bool("ablations", false, "also run the ablation studies")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	workers := flag.Int("workers", 0, "worker pool size (0 = all cores, negative = sequential)")
+	workers := cli.Workers()
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()

@@ -1,0 +1,284 @@
+// Command loadgen drives a running serve instance closed-loop: it
+// ingests a dataset, warms one release per (model, parameter-set)
+// pair, then has -concurrency workers fire a weighted scenario mix of
+// anonymize / attack / risk requests for -duration, and prints a
+// throughput/latency report plus the server's own cache and latency
+// counters. This is the measurable form of the ROADMAP's "heavy
+// traffic" claim: anonymize requests after warmup are release-store
+// hits, attacks run on warm engines, and the report shows both sides.
+//
+// Usage:
+//
+//	loadgen [-addr http://127.0.0.1:8080] [-concurrency C] [-duration D]
+//	        [-n N] [-seed S] [-mix anonymize:1,attack:4,risk:2] [-models distinct,bt]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/service"
+)
+
+// scenario is one weighted entry of the request mix.
+type scenario struct {
+	name   string
+	weight int
+}
+
+// sample is one completed request.
+type sample struct {
+	op string
+	d  time.Duration
+	ok bool
+}
+
+// client wraps the HTTP plumbing shared by warmup and workers.
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) postJSON(path string, body string, out any) (int, error) {
+	resp, err := c.http.Post(c.base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(b, out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	return resp.StatusCode, nil
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "serve base URL")
+	concurrency := flag.Int("concurrency", 8, "closed-loop worker count")
+	duration := flag.Duration("duration", 10*time.Second, "measurement window")
+	n := cli.N(2000, "dataset size to ingest")
+	seed := cli.Seed()
+	mixSpec := flag.String("mix", "anonymize:1,attack:4,risk:2", "scenario mix as name:weight[,name:weight...]")
+	modelsSpec := flag.String("models", "distinct,bt", "models to warm and cycle (comma-separated)")
+	flag.Parse()
+
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		cli.Fatal("loadgen", err)
+	}
+	models := strings.Split(*modelsSpec, ",")
+
+	c := &client{
+		base: strings.TrimRight(*addr, "/"),
+		http: &http.Client{
+			Timeout:   5 * time.Minute,
+			Transport: &http.Transport{MaxIdleConnsPerHost: *concurrency},
+		},
+	}
+
+	// Ingest the dataset (content-addressed: reruns reuse it).
+	var ds service.DatasetResponse
+	start := time.Now()
+	if _, err := c.postJSON("/v1/datasets", fmt.Sprintf(`{"n":%d,"seed":%d}`, *n, *seed), &ds); err != nil {
+		cli.Fatal("loadgen", fmt.Errorf("ingesting dataset: %w", err))
+	}
+	fmt.Printf("dataset %s: %d records (cached=%v, %.2fs)\n", ds.ID, ds.Records, ds.Cached, time.Since(start).Seconds())
+
+	// Warm one release per (model, para): these are the keys the
+	// anonymize scenario cycles through, so steady-state anonymize
+	// traffic is served from the release store.
+	paras := core.Table5()[:2]
+	type warmRelease struct{ body, id string }
+	var releases []warmRelease
+	for _, m := range models {
+		for _, p := range paras {
+			body := fmt.Sprintf(`{"dataset":%q,"model":%q,"k":%d,"l":%d,"t":%s,"b":%s}`,
+				ds.ID, strings.TrimSpace(m), p.K, p.L,
+				strconv.FormatFloat(p.T, 'g', -1, 64), strconv.FormatFloat(p.B, 'g', -1, 64))
+			var resp service.AnonymizeResponse
+			t0 := time.Now()
+			if _, err := c.postJSON("/v1/anonymize", body, &resp); err != nil {
+				cli.Fatal("loadgen", fmt.Errorf("warming %s k=%d: %w", m, p.K, err))
+			}
+			fmt.Printf("warmed %s (%s k=%d: %d groups, %.2fs, cached=%v)\n",
+				resp.Release, strings.TrimSpace(m), p.K, resp.Groups, time.Since(t0).Seconds(), resp.Cached)
+			releases = append(releases, warmRelease{body: body, id: resp.Release})
+		}
+	}
+
+	bprimes := []float64{0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5}
+	deadline := time.Now().Add(*duration)
+	samplesPerWorker := make([][]sample, *concurrency)
+	var wg sync.WaitGroup
+	fmt.Printf("running %d workers for %s (mix %s)\n", *concurrency, *duration, *mixSpec)
+	measureStart := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed*1_000_003 + int64(w)))
+			var out []sample
+			for time.Now().Before(deadline) {
+				op := pick(rng, mix)
+				rel := releases[rng.Intn(len(releases))]
+				var err error
+				t0 := time.Now()
+				switch op {
+				case "anonymize":
+					_, err = c.postJSON("/v1/anonymize", rel.body, nil)
+				case "attack", "risk":
+					bp := strconv.FormatFloat(bprimes[rng.Intn(len(bprimes))], 'g', -1, 64)
+					_, err = c.postJSON("/v1/"+op, fmt.Sprintf(`{"release":%q,"bprime":%s}`, rel.id, bp), nil)
+				}
+				out = append(out, sample{op: op, d: time.Since(t0), ok: err == nil})
+			}
+			samplesPerWorker[w] = out
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(measureStart)
+
+	report(samplesPerWorker, elapsed)
+	printServerMetrics(c)
+}
+
+// parseMix decodes "name:weight,..." into scenarios.
+func parseMix(spec string) ([]scenario, error) {
+	var mix []scenario
+	for _, part := range strings.Split(spec, ",") {
+		name, weightStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("bad mix entry %q (want name:weight)", part)
+		}
+		switch name {
+		case "anonymize", "attack", "risk":
+		default:
+			return nil, fmt.Errorf("unknown scenario %q (want anonymize|attack|risk)", name)
+		}
+		w, err := strconv.Atoi(weightStr)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad weight in %q", part)
+		}
+		mix = append(mix, scenario{name: name, weight: w})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	return mix, nil
+}
+
+// pick draws a scenario proportionally to its weight.
+func pick(rng *rand.Rand, mix []scenario) string {
+	total := 0
+	for _, s := range mix {
+		total += s.weight
+	}
+	r := rng.Intn(total)
+	for _, s := range mix {
+		r -= s.weight
+		if r < 0 {
+			return s.name
+		}
+	}
+	return mix[len(mix)-1].name
+}
+
+// report aggregates the samples into a per-scenario latency table.
+func report(perWorker [][]sample, elapsed time.Duration) {
+	byOp := map[string][]time.Duration{}
+	errs := map[string]int{}
+	total := 0
+	for _, samples := range perWorker {
+		for _, s := range samples {
+			total++
+			if !s.ok {
+				errs[s.op]++
+				continue
+			}
+			byOp[s.op] = append(byOp[s.op], s.d)
+		}
+	}
+	fmt.Printf("\n%d requests in %.2fs (%.1f req/s overall)\n", total, elapsed.Seconds(), float64(total)/elapsed.Seconds())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tcount\terrors\treq/s\tp50(ms)\tp90(ms)\tp99(ms)\tmax(ms)")
+	ops := make([]string, 0, len(byOp))
+	for op := range byOp {
+		ops = append(ops, op)
+	}
+	for op := range errs {
+		if _, ok := byOp[op]; !ok {
+			ops = append(ops, op)
+		}
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		ds := byOp[op]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		q := func(p float64) float64 {
+			if len(ds) == 0 {
+				return 0
+			}
+			return float64(ds[int(p*float64(len(ds)-1))]) / float64(time.Millisecond)
+		}
+		var max float64
+		if len(ds) > 0 {
+			max = float64(ds[len(ds)-1]) / float64(time.Millisecond)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			op, len(ds), errs[op], float64(len(ds))/elapsed.Seconds(), q(0.50), q(0.90), q(0.99), max)
+	}
+	tw.Flush()
+}
+
+// printServerMetrics fetches and summarizes the server-side counters.
+func printServerMetrics(c *client) {
+	resp, err := c.http.Get(c.base + "/metrics")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: fetching /metrics: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	var snap service.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: decoding /metrics: %v\n", err)
+		return
+	}
+	fmt.Printf("\nserver: %d requests, %d errors, pipeline runs %d, dataset builds %d\n",
+		snap.Requests, snap.Errors, snap.PipelineRuns, snap.DatasetBuilds)
+	fmt.Printf("release store: %d hits, %d shared, %d misses, %d evictions, %d resident\n",
+		snap.Store.Hits, snap.Store.Shared, snap.Store.Misses, snap.Store.Evictions, snap.Store.Releases)
+	eps := make([]string, 0, len(snap.Endpoints))
+	for ep := range snap.Endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "endpoint\tcount\tp50(ms)\tp99(ms)")
+	for _, ep := range eps {
+		st := snap.Endpoints[ep]
+		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\n", ep, st.Count, st.P50Milli, st.P99Milli)
+	}
+	tw.Flush()
+}

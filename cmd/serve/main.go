@@ -1,0 +1,69 @@
+// Command serve runs the anonymization/attack service: a long-running
+// HTTP/JSON API over internal/service that keeps datasets and their
+// engines warm, caches releases content-addressed with LRU eviction,
+// and deduplicates concurrent identical requests (singleflight).
+//
+// Usage:
+//
+//	serve [-addr :8080] [-workers W] [-releases 128] [-datasets 8]
+//
+// Endpoints: POST /v1/datasets, /v1/anonymize, /v1/attack, /v1/risk;
+// GET /v1/releases/{id}, /healthz, /metrics. See DESIGN.md ("Service
+// layer") for the endpoint table and store semantics; cmd/loadgen
+// drives a running instance under load.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	releases := flag.Int("releases", 128, "release store capacity (LRU entries)")
+	datasets := flag.Int("datasets", 8, "dataset store capacity (LRU entries)")
+	workers := cli.Workers()
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "serve: ", log.LstdFlags)
+	srv := service.New(service.Config{
+		Workers:    *workers,
+		ReleaseCap: *releases,
+		DatasetCap: *datasets,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logger.Printf("listening on %s (workers=%d, releases=%d, datasets=%d)",
+		*addr, *workers, *releases, *datasets)
+
+	select {
+	case err := <-errc:
+		cli.Fatal("serve", err)
+	case <-ctx.Done():
+	}
+	logger.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		cli.Fatal("serve", err)
+	}
+}

@@ -24,7 +24,14 @@
 // (0 = all cores, negative = sequential) or with core.WithWorkers,
 // where any n ≤ 0 requests the sequential path outright.
 //
+// The serving layer (internal/service, cmd/serve) exposes the whole
+// pipeline as a long-running HTTP/JSON API: datasets keep their engine
+// warm across requests, releases live in a content-addressed store
+// with LRU eviction and singleflight dedup of concurrent identical
+// requests, and cmd/loadgen measures the resulting throughput with a
+// closed-loop mixed-scenario load generator.
+//
 // Start with examples/quickstart or README.md, or see DESIGN.md for
-// the system inventory, the concurrency model, and the index mapping
-// each benchmark to its paper figure.
+// the system inventory, the concurrency model, the service layer, and
+// the index mapping each benchmark to its paper figure.
 package repro

@@ -96,6 +96,23 @@ func NewSchema() *dataset.Schema {
 	}
 }
 
+// Specs returns the CSV column specs of the Adult schema, for loading
+// external microdata files with the same layout (Age numeric;
+// Workclass, Education, Marital-status, Race, Sex categorical;
+// Occupation sensitive). Shared by the anonymize CLI and the serving
+// layer's upload path.
+func Specs() []dataset.ColumnSpec {
+	return []dataset.ColumnSpec{
+		{Name: "Age", Kind: dataset.Numeric},
+		{Name: "Workclass", Kind: dataset.Categorical},
+		{Name: "Education", Kind: dataset.Categorical},
+		{Name: "Marital-status", Kind: dataset.Categorical},
+		{Name: "Race", Kind: dataset.Categorical},
+		{Name: "Sex", Kind: dataset.Categorical},
+		{Name: "Occupation", Kind: dataset.Categorical, Sensitive: true},
+	}
+}
+
 // Hierarchies returns the generalization hierarchies for the
 // categorical attributes. Occupation's hierarchy has height 2, matching
 // §IV-B.2's smoothing-bandwidth discussion.

@@ -1,0 +1,64 @@
+// Package cli deduplicates the flag conventions shared by the repro
+// binaries: every tool that takes a table size, a generator seed, a
+// worker-pool bound, or the privacy-model parameter block registers
+// them here, so defaults and usage text stay consistent across
+// datagen, anonymize, attack, experiments, serve, and loadgen.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+// WorkersUsage is the canonical help text for -workers, matching the
+// internal/parallel convention every layer shares.
+const WorkersUsage = "worker pool size (0 = all cores, negative = sequential)"
+
+// Workers registers the conventional -workers flag.
+func Workers() *int { return flag.Int("workers", 0, WorkersUsage) }
+
+// N registers the conventional -n table-size flag. The usage string
+// varies per tool (synthetic size, override, record count); the name
+// and numeric convention do not.
+func N(def int, usage string) *int { return flag.Int("n", def, usage) }
+
+// Seed registers the conventional -seed flag (default 42 everywhere).
+func Seed() *int64 { return flag.Int64("seed", 42, "generator seed") }
+
+// Model is the privacy-model parameter block shared by anonymize,
+// attack, and loadgen: the model name plus the Table V-style
+// (k, l, t, b) parameters.
+type Model struct {
+	Name *string
+	K    *int
+	L    *int
+	T    *float64
+	B    *float64
+}
+
+// ModelFlags registers -model/-k/-l/-t/-b with the shared defaults.
+// choices documents the accepted model names for this tool.
+func ModelFlags(def, choices string) *Model {
+	return &Model{
+		Name: flag.String("model", def, "privacy model: "+choices),
+		K:    flag.Int("k", 3, "k-anonymity parameter"),
+		L:    flag.Int("l", 3, "l-diversity parameter"),
+		T:    flag.Float64("t", 0.25, "closeness / disclosure threshold"),
+		B:    flag.Float64("b", 0.3, "(B,t) enforcement bandwidth"),
+	}
+}
+
+// Params assembles the parsed parameter block.
+func (m *Model) Params() core.Params {
+	return core.Params{K: *m.K, L: *m.L, T: *m.T, B: *m.B}
+}
+
+// Fatal prints "<tool>: err" to stderr and exits 1 — the shared
+// failure convention of every binary.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}

@@ -11,10 +11,12 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/anatomy"
 	"repro/internal/anonymize"
 	"repro/internal/dataset"
 	"repro/internal/distance"
 	"repro/internal/hierarchy"
+	"repro/internal/incognito"
 	"repro/internal/inference"
 	"repro/internal/kernel"
 	"repro/internal/mondrian"
@@ -56,6 +58,24 @@ func (m Model) String() string { return modelNames[m] }
 // AllModels lists the four models in the paper's reporting order.
 func AllModels() []Model {
 	return []Model{DistinctLDiversity, ProbabilisticLDiversity, TCloseness, BTPrivacy}
+}
+
+// ParseModel maps the CLI/API model names (distinct, prob, tclose, bt)
+// to the Model enum. The composite "skyline" requirement is not a
+// Model; callers that accept it use RequirementByName.
+func ParseModel(name string) (Model, bool) {
+	switch name {
+	case "distinct":
+		return DistinctLDiversity, true
+	case "prob":
+		return ProbabilisticLDiversity, true
+	case "tclose":
+		return TCloseness, true
+	case "bt":
+		return BTPrivacy, true
+	default:
+		return 0, false
+	}
 }
 
 // Params is one privacy parameter set in the style of the paper's
@@ -216,6 +236,26 @@ func (e *Engine) Requirement(m Model, p Params) (privacy.Requirement, error) {
 	return privacy.And{Parts: []privacy.Requirement{privacy.KAnonymity{K: p.K}, attr}}, nil
 }
 
+// RequirementByName builds the composed requirement for a CLI/API
+// model name: distinct, prob, tclose, bt, or skyline. The skyline
+// variant enforces the fixed three-entry (B_i, t_i) ladder around the
+// requested (B, t) that the binaries expose: {(0.2, t), (B, t),
+// (0.5, t+0.05)}, composed with K-anonymity.
+func (e *Engine) RequirementByName(name string, p Params) (privacy.Requirement, error) {
+	if name == "skyline" {
+		return e.SkylineRequirement(p.K, []Params{
+			{B: 0.2, T: p.T},
+			{B: p.B, T: p.T},
+			{B: 0.5, T: p.T + 0.05},
+		})
+	}
+	m, ok := ParseModel(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown model %q", name)
+	}
+	return e.Requirement(m, p)
+}
+
 // BTRequirement builds the bare (B,t) requirement for a parameter set.
 func (e *Engine) BTRequirement(p Params) (privacy.BTPrivacy, error) {
 	bvec := p.BVec
@@ -264,6 +304,48 @@ func (e *Engine) AnonymizeModel(m Model, p Params) (*anonymize.Result, error) {
 		return nil, err
 	}
 	return e.Anonymize(req), nil
+}
+
+// RunAlgorithm is the shared dispatch for the CLI and the serving
+// layer: it runs the named algorithm (mondrian, anatomy, incognito)
+// under the named model (see RequirementByName) and validates the
+// release. The levels return is Incognito's minimal generalization
+// node (nil for the other algorithms). Anatomy enforces ℓ-diversity by
+// construction and uses only p.L.
+func (e *Engine) RunAlgorithm(algo, model string, p Params) (res *anonymize.Result, levels []int, err error) {
+	switch algo {
+	case "anatomy":
+		res, err = anatomy.Anatomize(e.Table, p.L)
+		if err != nil {
+			return nil, nil, err
+		}
+	case "incognito":
+		ladders, lerr := incognito.AdultLadders(e.Table.Schema, e.Hiers)
+		if lerr != nil {
+			return nil, nil, lerr
+		}
+		req, rerr := e.RequirementByName(model, p)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		g := &incognito.Generalizer{Table: e.Table, Ladders: ladders, Req: req}
+		levels, res, err = g.Search()
+		if err != nil {
+			return nil, nil, err
+		}
+	case "mondrian":
+		req, rerr := e.RequirementByName(model, p)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		res = e.Anonymize(req)
+	default:
+		return nil, nil, fmt.Errorf("core: unknown algorithm %q", algo)
+	}
+	if err := res.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("core: invalid release: %w", err)
+	}
+	return res, levels, nil
 }
 
 // Breach decides whether one record's privacy — as promised by a

@@ -10,7 +10,6 @@ package experiments
 import (
 	"fmt"
 	"strings"
-	"sync"
 	"text/tabwriter"
 
 	"repro/internal/adult"
@@ -121,22 +120,15 @@ type Runner struct {
 	Table  *dataset.Table
 	Engine *core.Engine
 
-	mu        sync.Mutex
-	anonCache map[string]*anonEntry
+	// anonCache memoizes releases by parameter key with singleflight
+	// semantics: parameter points running concurrently that need the
+	// same release block on one anonymization instead of duplicating it.
+	anonCache parallel.Memo[*timedResult]
 }
 
 type timedResult struct {
 	res     *anonymize.Result
 	seconds float64
-}
-
-// anonEntry is a singleflight cache slot: parameter points running
-// concurrently that need the same release block on one anonymization
-// instead of duplicating it.
-type anonEntry struct {
-	once sync.Once
-	tr   *timedResult
-	err  error
 }
 
 // NewRunner generates the dataset and builds the engine.
@@ -147,7 +139,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{Cfg: cfg, Table: table, Engine: eng, anonCache: map[string]*anonEntry{}}, nil
+	return &Runner{Cfg: cfg, Table: table, Engine: eng}, nil
 }
 
 // workers resolves the configured pool size for figure-level fan-out.
@@ -155,15 +147,7 @@ func (r *Runner) workers() int { return parallel.Resolve(r.Cfg.Workers) }
 
 // cached runs compute exactly once for key and memoizes the outcome.
 func (r *Runner) cached(key string, compute func() (*timedResult, error)) (*timedResult, error) {
-	r.mu.Lock()
-	e, ok := r.anonCache[key]
-	if !ok {
-		e = &anonEntry{}
-		r.anonCache[key] = e
-	}
-	r.mu.Unlock()
-	e.once.Do(func() { e.tr, e.err = compute() })
-	return e.tr, e.err
+	return r.anonCache.Do(key, compute)
 }
 
 // All regenerates every figure in paper order.

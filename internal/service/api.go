@@ -1,0 +1,194 @@
+// Package service exposes the anonymize→infer→measure pipeline as a
+// long-running HTTP/JSON API. Datasets are ingested (or synthesized)
+// once and keep their engine — kernel estimator, prior cache, worker
+// pool — warm across requests; anonymization results live in a
+// content-addressed release store with LRU eviction and singleflight
+// dedup of concurrent identical requests, so a client can hit the
+// pipeline millions of times without paying the setup cost per call.
+//
+// Endpoints:
+//
+//	POST /v1/datasets        ingest CSV (text/csv) or synthesize by (n, seed)
+//	POST /v1/anonymize       anonymize a dataset, returning a release handle
+//	POST /v1/attack          background-knowledge attack against a release
+//	POST /v1/risk            worst-case disclosure risk of a release
+//	GET  /v1/releases/{id}   release metadata
+//	GET  /healthz            liveness
+//	GET  /metrics            counters and latency quantiles (JSON)
+//
+// All computation runs on the bounded worker pool configured at server
+// construction; responses are bit-identical at any pool size (the
+// engine's determinism guarantee), which the tests assert end to end.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DatasetRequest asks for a synthetic Adult-like table. CSV ingestion
+// uses the request body directly (Content-Type: text/csv) instead.
+type DatasetRequest struct {
+	N    int   `json:"n"`
+	Seed int64 `json:"seed"`
+}
+
+// DatasetResponse identifies an ingested dataset. Cached reports that
+// the dataset (same content hash) was already resident.
+type DatasetResponse struct {
+	ID      string `json:"id"`
+	Records int    `json:"records"`
+	Cached  bool   `json:"cached"`
+}
+
+// AnonymizeRequest names a dataset and the algorithm, privacy model,
+// and parameters of the release to build. Zero-valued fields take the
+// documented defaults.
+type AnonymizeRequest struct {
+	Dataset string `json:"dataset"`
+	// Algo: mondrian (default) | anatomy | incognito.
+	Algo string `json:"algo"`
+	// Model: distinct | prob | tclose | bt (default) | skyline.
+	// Anatomy enforces ℓ-diversity by construction, so its default
+	// model — used for breach criteria in later attacks — is distinct.
+	Model string  `json:"model"`
+	K     int     `json:"k"` // default 3
+	L     int     `json:"l"` // default 3
+	T     float64 `json:"t"` // default 0.25
+	B     float64 `json:"b"` // default 0.3
+}
+
+// normalize applies defaults in place.
+func (r *AnonymizeRequest) normalize() {
+	if r.Algo == "" {
+		r.Algo = "mondrian"
+	}
+	if r.Model == "" {
+		if r.Algo == "anatomy" {
+			r.Model = "distinct"
+		} else {
+			r.Model = "bt"
+		}
+	}
+	if r.K == 0 {
+		r.K = 3
+	}
+	if r.L == 0 {
+		r.L = 3
+	}
+	if r.T == 0 {
+		r.T = 0.25
+	}
+	if r.B == 0 {
+		r.B = 0.3
+	}
+}
+
+// validate rejects out-of-range or unknown fields after normalize.
+func (r *AnonymizeRequest) validate() error {
+	switch r.Algo {
+	case "mondrian", "anatomy", "incognito":
+	default:
+		return fmt.Errorf("unknown algo %q (want mondrian|anatomy|incognito)", r.Algo)
+	}
+	switch r.Model {
+	case "distinct", "prob", "tclose", "bt", "skyline":
+	default:
+		return fmt.Errorf("unknown model %q (want distinct|prob|tclose|bt|skyline)", r.Model)
+	}
+	if r.K < 1 || r.L < 1 {
+		return fmt.Errorf("k and l must be >= 1 (got k=%d, l=%d)", r.K, r.L)
+	}
+	if r.T <= 0 || r.T > 1 {
+		return fmt.Errorf("t must be in (0, 1] (got %g)", r.T)
+	}
+	if r.B <= 0 || r.B > 1 {
+		return fmt.Errorf("b must be in (0, 1] (got %g)", r.B)
+	}
+	return nil
+}
+
+// key is the canonical cache key of the release this request denotes:
+// every field that affects the released groups, in a fixed order and
+// rendering. Requests that differ only in JSON formatting, field
+// order, or defaulted-vs-explicit values map to the same key.
+func (r *AnonymizeRequest) key() string {
+	return strings.Join([]string{
+		r.Dataset, r.Algo, r.Model,
+		"k=" + strconv.Itoa(r.K),
+		"l=" + strconv.Itoa(r.L),
+		"t=" + strconv.FormatFloat(r.T, 'g', -1, 64),
+		"b=" + strconv.FormatFloat(r.B, 'g', -1, 64),
+	}, "|")
+}
+
+// AnonymizeResponse is the release handle plus summary statistics.
+type AnonymizeResponse struct {
+	Release     string  `json:"release"`
+	Dataset     string  `json:"dataset"`
+	Cached      bool    `json:"cached"`
+	Algorithm   string  `json:"algorithm"`
+	Requirement string  `json:"requirement"`
+	Groups      int     `json:"groups"`
+	Records     int     `json:"records"`
+	AvgGroup    float64 `json:"avg_group"`
+	Seconds     float64 `json:"seconds"`
+}
+
+// AttackRequest simulates adversary Adv(b') against a stored release.
+type AttackRequest struct {
+	Release string  `json:"release"`
+	BPrime  float64 `json:"bprime"` // default 0.3
+}
+
+// AttackResponse reports the attack outcome: breach count under the
+// release's own privacy criterion and the risk profile quantiles.
+type AttackResponse struct {
+	Release    string  `json:"release"`
+	BPrime     float64 `json:"bprime"`
+	Records    int     `json:"records"`
+	Vulnerable int     `json:"vulnerable"`
+	MeanRisk   float64 `json:"mean_risk"`
+	P50Risk    float64 `json:"p50_risk"`
+	P90Risk    float64 `json:"p90_risk"`
+	P99Risk    float64 `json:"p99_risk"`
+	WorstRisk  float64 `json:"worst_risk"`
+}
+
+// RiskResponse is the worst-case disclosure risk (Figure 3 quantity).
+type RiskResponse struct {
+	Release   string  `json:"release"`
+	BPrime    float64 `json:"bprime"`
+	WorstRisk float64 `json:"worst_risk"`
+}
+
+// ReleaseInfo is the GET /v1/releases/{id} payload.
+type ReleaseInfo struct {
+	ID          string  `json:"id"`
+	Dataset     string  `json:"dataset"`
+	Algorithm   string  `json:"algorithm"`
+	Requirement string  `json:"requirement"`
+	Model       string  `json:"model"`
+	K           int     `json:"k"`
+	L           int     `json:"l"`
+	T           float64 `json:"t"`
+	B           float64 `json:"b"`
+	Groups      int     `json:"groups"`
+	Records     int     `json:"records"`
+	AvgGroup    float64 `json:"avg_group"`
+	Seconds     float64 `json:"seconds"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// hashID derives a content-addressed identifier from a canonical key.
+func hashID(prefix, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return prefix + "_" + hex.EncodeToString(sum[:8])
+}

@@ -1,0 +1,162 @@
+package service
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latWindow is the per-endpoint latency sample window. Quantiles are
+// computed over the most recent latWindow observations — a bounded
+// sliding window, so a long-running server's p50/p99 track current
+// load rather than its whole history.
+const latWindow = 1024
+
+// latencyRing holds the last latWindow durations for one endpoint.
+type latencyRing struct {
+	samples [latWindow]time.Duration
+	next    int
+	filled  bool
+	count   int64
+}
+
+func (r *latencyRing) observe(d time.Duration) {
+	r.samples[r.next] = d
+	r.next++
+	if r.next == latWindow {
+		r.next = 0
+		r.filled = true
+	}
+	r.count++
+}
+
+// quantiles returns the requested quantiles (each in [0,1]) over the
+// current window, in milliseconds.
+func (r *latencyRing) quantiles(qs ...float64) []float64 {
+	n := r.next
+	if r.filled {
+		n = latWindow
+	}
+	out := make([]float64, len(qs))
+	if n == 0 {
+		return out
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, r.samples[:n])
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	for i, q := range qs {
+		idx := int(q * float64(n-1))
+		out[i] = float64(buf[idx]) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// Metrics is the server's instrumentation: expvar counters for request
+// and cache accounting plus per-endpoint latency windows. The counters
+// are expvar values but are deliberately not Published globally, so
+// many servers (tests, benchmarks) can coexist in one process; GET
+// /metrics serves a JSON snapshot instead of the global expvar page.
+type Metrics struct {
+	start time.Time
+
+	Requests expvar.Int // requests accepted (all endpoints)
+	InFlight expvar.Int // requests currently executing
+	Errors   expvar.Int // responses with status >= 400
+
+	PipelineRuns  expvar.Int // anonymization pipelines actually executed
+	DatasetBuilds expvar.Int // dataset+engine constructions actually executed
+
+	StoreHits      expvar.Int // release-store residency hits
+	StoreShared    expvar.Int // requests that shared an in-flight computation
+	StoreMisses    expvar.Int // requests that ran the computation
+	StoreEvictions expvar.Int // LRU evictions
+
+	mu  sync.Mutex
+	lat map[string]*latencyRing
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now(), lat: map[string]*latencyRing{}}
+}
+
+// observe records one completed request for the named endpoint.
+func (m *Metrics) observe(endpoint string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.lat[endpoint]
+	if !ok {
+		r = &latencyRing{}
+		m.lat[endpoint] = r
+	}
+	r.observe(d)
+}
+
+// countStore folds a store access into the cache counters.
+func (m *Metrics) countStore(src source) {
+	switch src {
+	case sourceHit:
+		m.StoreHits.Add(1)
+	case sourceShared:
+		m.StoreShared.Add(1)
+	default:
+		m.StoreMisses.Add(1)
+	}
+}
+
+// EndpointStats is one endpoint's latency summary in a snapshot.
+type EndpointStats struct {
+	Count    int64   `json:"count"`
+	P50Milli float64 `json:"p50_ms"`
+	P99Milli float64 `json:"p99_ms"`
+}
+
+// StoreStats is the release-store section of a snapshot.
+type StoreStats struct {
+	Hits      int64 `json:"hits"`
+	Shared    int64 `json:"shared"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Releases  int   `json:"releases"`
+	Datasets  int   `json:"datasets"`
+}
+
+// Snapshot is the GET /metrics payload.
+type Snapshot struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Requests      int64                    `json:"requests"`
+	InFlight      int64                    `json:"in_flight"`
+	Errors        int64                    `json:"errors"`
+	PipelineRuns  int64                    `json:"pipeline_runs"`
+	DatasetBuilds int64                    `json:"dataset_builds"`
+	Store         StoreStats               `json:"store"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+// snapshot assembles the current counter and latency state.
+func (m *Metrics) snapshot(releases, datasets int) Snapshot {
+	s := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      m.Requests.Value(),
+		InFlight:      m.InFlight.Value(),
+		Errors:        m.Errors.Value(),
+		PipelineRuns:  m.PipelineRuns.Value(),
+		DatasetBuilds: m.DatasetBuilds.Value(),
+		Store: StoreStats{
+			Hits:      m.StoreHits.Value(),
+			Shared:    m.StoreShared.Value(),
+			Misses:    m.StoreMisses.Value(),
+			Evictions: m.StoreEvictions.Value(),
+			Releases:  releases,
+			Datasets:  datasets,
+		},
+		Endpoints: map[string]EndpointStats{},
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, r := range m.lat {
+		qs := r.quantiles(0.50, 0.99)
+		s.Endpoints[name] = EndpointStats{Count: r.count, P50Milli: qs[0], P99Milli: qs[1]}
+	}
+	return s
+}

@@ -1,0 +1,443 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/adult"
+	"repro/internal/anonymize"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/kernel"
+	"repro/internal/parallel"
+)
+
+// Config sizes the server. Zero values take the stated defaults.
+type Config struct {
+	// Workers bounds the shared pool every engine runs on
+	// (0 = all cores, negative = sequential; the package-wide
+	// convention). All responses are bit-identical at any setting.
+	Workers int
+	// ReleaseCap is the release store's LRU capacity (default 128).
+	ReleaseCap int
+	// DatasetCap is the dataset store's LRU capacity (default 8).
+	// Datasets are far heavier than releases: each holds a table, a
+	// kernel estimator, and a prior cache.
+	DatasetCap int
+	// MaxUploadBytes caps CSV ingestion bodies (default 64 MiB).
+	MaxUploadBytes int64
+	// MaxSyntheticN caps synthetic table sizes (default 1,000,000).
+	MaxSyntheticN int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ReleaseCap == 0 {
+		c.ReleaseCap = 128
+	}
+	if c.DatasetCap == 0 {
+		c.DatasetCap = 8
+	}
+	if c.MaxUploadBytes == 0 {
+		c.MaxUploadBytes = 64 << 20
+	}
+	if c.MaxSyntheticN == 0 {
+		c.MaxSyntheticN = 1_000_000
+	}
+	return c
+}
+
+// datasetEntry is one resident dataset: the table plus its warm
+// engine (kernel estimator, prior cache, worker pool).
+type datasetEntry struct {
+	id     string
+	table  *dataset.Table
+	engine *core.Engine
+}
+
+// releaseEntry is one resident release: the anonymization result plus
+// everything attacks need (the owning dataset entry keeps the engine
+// alive even if the dataset store later evicts it).
+type releaseEntry struct {
+	id  string
+	ds  *datasetEntry
+	res *anonymize.Result
+	req AnonymizeRequest
+	// breachModel is the criterion later attacks test the release
+	// against: the release's own model (skyline breaches like bt).
+	breachModel core.Model
+	seconds     float64
+}
+
+// Server is the HTTP serving layer. Construct with New; it implements
+// http.Handler.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	metrics *Metrics
+
+	datasets *lruStore[*datasetEntry]
+	releases *lruStore[*releaseEntry]
+
+	// attacks dedups concurrent identical attack/risk computations.
+	// Results are not memoized — the release store already pins the
+	// expensive artifact — so repeated sequential attacks recompute on
+	// the warm engine.
+	attacks parallel.Group[*AttackResponse]
+}
+
+// New builds a server with the given configuration.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:      cfg.withDefaults(),
+		mux:      http.NewServeMux(),
+		metrics:  newMetrics(),
+		datasets: newLRUStore[*datasetEntry](cfg.withDefaults().DatasetCap),
+		releases: newLRUStore[*releaseEntry](cfg.withDefaults().ReleaseCap),
+	}
+	s.releases.onEvict = func(string) { s.metrics.StoreEvictions.Add(1) }
+	s.route("POST /v1/datasets", "/v1/datasets", http.MethodPost, s.handleDatasets)
+	s.route("POST /v1/anonymize", "/v1/anonymize", http.MethodPost, s.handleAnonymize)
+	s.route("POST /v1/attack", "/v1/attack", http.MethodPost, s.handleAttack)
+	s.route("POST /v1/risk", "/v1/risk", http.MethodPost, s.handleRisk)
+	s.route("GET /v1/releases", "/v1/releases/", http.MethodGet, s.handleRelease)
+	s.route("GET /healthz", "/healthz", http.MethodGet, s.handleHealthz)
+	s.route("GET /metrics", "/metrics", http.MethodGet, s.handleMetrics)
+	return s
+}
+
+// Metrics exposes the server's counters (tests, loadgen reporting).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// statusWriter records the response status for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// route registers an instrumented handler: request/in-flight/error
+// counters plus a latency observation under the endpoint name.
+func (s *Server) route(name, pattern, method string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method " + r.Method + " not allowed"})
+			return
+		}
+		s.metrics.Requests.Add(1)
+		s.metrics.InFlight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			s.metrics.InFlight.Add(-1)
+			s.metrics.observe(name, time.Since(start))
+			if sw.status >= 400 {
+				s.metrics.Errors.Add(1)
+			}
+		}()
+		h(sw, r)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(body, '\n'))
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeJSON strictly decodes a JSON body into v (unknown fields and
+// trailing garbage rejected), with a 1 MiB limit.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON body")
+	}
+	return nil
+}
+
+// buildDataset constructs a dataset entry: the engine build is the
+// per-dataset setup cost the whole service exists to amortize.
+func (s *Server) buildDataset(id string, table *dataset.Table) (*datasetEntry, error) {
+	s.metrics.DatasetBuilds.Add(1)
+	eng, err := core.New(table, adult.Hierarchies(), nil, nil,
+		core.WithWorkers(parallel.Resolve(s.cfg.Workers)))
+	if err != nil {
+		return nil, err
+	}
+	return &datasetEntry{id: id, table: table, engine: eng}, nil
+}
+
+// handleDatasets ingests a dataset: JSON {n, seed} synthesizes an
+// Adult-like table; a text/csv body is decoded streaming under the
+// Adult schema. Both are content-addressed, so identical inputs return
+// the resident dataset.
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "csv") {
+		s.ingestCSV(w, r)
+		return
+	}
+	var req DatasetRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.N < 1 || req.N > s.cfg.MaxSyntheticN {
+		writeErr(w, http.StatusBadRequest, "n must be in [1, %d] (got %d)", s.cfg.MaxSyntheticN, req.N)
+		return
+	}
+	id := hashID("ds", "synthetic|n="+strconv.Itoa(req.N)+"|seed="+strconv.FormatInt(req.Seed, 10))
+	entry, src, err := s.datasets.do(id, func() (*datasetEntry, error) {
+		return s.buildDataset(id, adult.Generate(req.N, req.Seed))
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "building dataset: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DatasetResponse{ID: id, Records: entry.table.N(), Cached: src != sourceMiss})
+}
+
+// ingestCSV streams a CSV body into a table, content-hashing the bytes
+// as they pass so the dataset id is stable across identical uploads.
+func (s *Server) ingestCSV(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
+	h := sha256.New()
+	table, err := dataset.ReadCSV(io.TeeReader(body, h), adult.Specs())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding CSV: %v", err)
+		return
+	}
+	if table.N() == 0 {
+		writeErr(w, http.StatusBadRequest, "CSV contains no usable rows")
+		return
+	}
+	id := "ds_" + hex.EncodeToString(h.Sum(nil)[:8])
+	entry, src, err := s.datasets.do(id, func() (*datasetEntry, error) {
+		return s.buildDataset(id, table)
+	})
+	if err != nil {
+		// Unlike the synthetic path (500), engine-build failures here
+		// are caused by the uploaded content — e.g. sensitive values
+		// outside the Adult hierarchy — so the client gets a 400.
+		writeErr(w, http.StatusBadRequest, "building dataset: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DatasetResponse{ID: id, Records: entry.table.N(), Cached: src != sourceMiss})
+}
+
+// handleAnonymize resolves (dataset, algo, model, params) through the
+// release store: resident releases return immediately, concurrent
+// identical requests collapse into one pipeline run, and new keys run
+// the pipeline on the shared pool.
+func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
+	var req AnonymizeRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	req.normalize()
+	if err := req.validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ds, ok := s.datasets.get(req.Dataset)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
+		return
+	}
+	id := hashID("rel", req.key())
+	entry, src, err := s.releases.do(id, func() (*releaseEntry, error) {
+		return s.runPipeline(id, ds, req)
+	})
+	s.metrics.countStore(src)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "anonymizing: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, AnonymizeResponse{
+		Release:     entry.id,
+		Dataset:     ds.id,
+		Cached:      src != sourceMiss,
+		Algorithm:   entry.res.Algorithm,
+		Requirement: entry.res.Requirement,
+		Groups:      len(entry.res.Groups),
+		Records:     ds.table.N(),
+		AvgGroup:    float64(ds.table.N()) / float64(len(entry.res.Groups)),
+		Seconds:     entry.seconds,
+	})
+}
+
+// runPipeline executes one anonymization on the dataset's engine.
+func (s *Server) runPipeline(id string, ds *datasetEntry, req AnonymizeRequest) (*releaseEntry, error) {
+	s.metrics.PipelineRuns.Add(1)
+	params := core.Params{K: req.K, L: req.L, T: req.T, B: req.B}
+	start := time.Now()
+	res, _, err := ds.engine.RunAlgorithm(req.Algo, req.Model, params)
+	if err != nil {
+		return nil, err
+	}
+	breachModel := core.BTPrivacy // skyline breaches like (B,t)
+	if m, ok := core.ParseModel(req.Model); ok {
+		breachModel = m
+	}
+	return &releaseEntry{
+		id:          id,
+		ds:          ds,
+		res:         res,
+		req:         req,
+		breachModel: breachModel,
+		seconds:     time.Since(start).Seconds(),
+	}, nil
+}
+
+// computeAttack runs (or joins) one attack evaluation: adversary
+// Adv(b') against the stored release, breached under the release's own
+// criterion. Classes fan out on the dataset's shared pool; the
+// response is bit-identical at any worker count.
+func (s *Server) computeAttack(entry *releaseEntry, bprime float64) (*AttackResponse, error) {
+	key := entry.id + "|b'=" + strconv.FormatFloat(bprime, 'g', -1, 64)
+	resp, _, err := s.attacks.Do(key, func() (*AttackResponse, error) {
+		eng := entry.ds.engine
+		params := core.Params{K: entry.req.K, L: entry.req.L, T: entry.req.T, B: entry.req.B}
+		bvec := kernel.UniformBandwidth(entry.ds.table.Schema.D(), bprime)
+		rep, err := eng.Attack(entry.res, bvec, entry.req.T, eng.BreachTest(entry.breachModel, params))
+		if err != nil {
+			return nil, err
+		}
+		risks := append([]float64(nil), rep.Risks...)
+		sort.Float64s(risks)
+		mean := 0.0
+		for _, v := range risks {
+			mean += v
+		}
+		mean /= float64(len(risks))
+		q := func(p float64) float64 { return risks[int(p*float64(len(risks)-1))] }
+		return &AttackResponse{
+			Release:    entry.id,
+			BPrime:     bprime,
+			Records:    len(risks),
+			Vulnerable: rep.Vulnerable,
+			MeanRisk:   mean,
+			P50Risk:    q(0.50),
+			P90Risk:    q(0.90),
+			P99Risk:    q(0.99),
+			WorstRisk:  rep.WorstRisk,
+		}, nil
+	})
+	return resp, err
+}
+
+// getRelease resolves an attack/risk request body to a stored release.
+func (s *Server) getRelease(w http.ResponseWriter, r *http.Request) (*releaseEntry, float64, bool) {
+	var req AttackRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return nil, 0, false
+	}
+	if req.BPrime == 0 {
+		req.BPrime = 0.3
+	}
+	if req.BPrime < 0 || req.BPrime > 1 {
+		writeErr(w, http.StatusBadRequest, "bprime must be in (0, 1] (got %g)", req.BPrime)
+		return nil, 0, false
+	}
+	entry, ok := s.releases.get(req.Release)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown release %q", req.Release)
+		return nil, 0, false
+	}
+	return entry, req.BPrime, true
+}
+
+func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
+	entry, bprime, ok := s.getRelease(w, r)
+	if !ok {
+		return
+	}
+	resp, err := s.computeAttack(entry, bprime)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "attacking: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
+	entry, bprime, ok := s.getRelease(w, r)
+	if !ok {
+		return
+	}
+	resp, err := s.computeAttack(entry, bprime)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "evaluating risk: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RiskResponse{Release: resp.Release, BPrime: resp.BPrime, WorstRisk: resp.WorstRisk})
+}
+
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/releases/")
+	if id == "" || strings.Contains(id, "/") {
+		writeErr(w, http.StatusBadRequest, "want /v1/releases/{id}")
+		return
+	}
+	entry, ok := s.releases.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown release %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReleaseInfo{
+		ID:          entry.id,
+		Dataset:     entry.ds.id,
+		Algorithm:   entry.res.Algorithm,
+		Requirement: entry.res.Requirement,
+		Model:       entry.req.Model,
+		K:           entry.req.K,
+		L:           entry.req.L,
+		T:           entry.req.T,
+		B:           entry.req.B,
+		Groups:      len(entry.res.Groups),
+		Records:     entry.ds.table.N(),
+		AvgGroup:    float64(entry.ds.table.N()) / float64(len(entry.res.Groups)),
+		Seconds:     entry.seconds,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.releases.len(), s.datasets.len()))
+}
