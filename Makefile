@@ -1,13 +1,19 @@
 # CI entry points. `make ci` is what every change must keep green:
-# vet, build, the full test suite under the race detector (the
-# parallel engine's safety net), and one pass over every benchmark so
-# the bench targets cannot rot.
+# gofmt enforcement, vet, build, the full test suite under the race
+# detector (the parallel engine's safety net), one pass over every
+# benchmark so the bench targets cannot rot, and a short fuzz smoke
+# over the untrusted-input decoders (CSV rows, JSON schema specs).
 
 GO ?= go
 
-.PHONY: ci vet build test race bench serve loadgen
+.PHONY: ci fmt vet build test race bench fuzz cover serve loadgen
 
-ci: vet build race bench
+ci: fmt vet build race bench fuzz
+
+# gofmt -l as a check: fails listing any file that needs formatting.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +29,17 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Short fuzz smoke over the two parsers that face untrusted input.
+# `go test -fuzz` takes one target per invocation.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadCSV$$' -fuzztime 5s ./internal/dataset
+	$(GO) test -run '^$$' -fuzz '^FuzzParseSpec$$' -fuzztime 5s ./internal/schema
+
+# Coverage: per-package profiles plus the aggregate statement rate.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -n 1
 
 # Serving layer: `make serve` runs the HTTP service on :8080;
 # `make loadgen` drives a running instance with the default mixed

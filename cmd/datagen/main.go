@@ -1,10 +1,11 @@
-// Command datagen writes a synthetic Adult-like microdata table as CSV
-// (see internal/adult for the generation model and the substitution
-// rationale in DESIGN.md).
+// Command datagen writes a synthetic microdata table as CSV: the
+// built-in Adult-like dataset by default (see internal/adult and the
+// substitution rationale in DESIGN.md), or any declarative dataset
+// spec via -schema (see internal/schema and examples/schemas/).
 //
 // Usage:
 //
-//	datagen [-n N] [-seed S] [-o out.csv] [-workers W]
+//	datagen [-n N] [-seed S] [-schema spec.json] [-o out.csv] [-workers W]
 //
 // Generation itself draws every record from one seeded rng stream, so
 // it stays a sequential pass for reproducibility; -workers follows the
@@ -19,16 +20,28 @@ import (
 	"repro/internal/adult"
 	"repro/internal/cli"
 	"repro/internal/dataset"
+	"repro/internal/schema"
 )
 
 func main() {
 	n := cli.N(30000, "number of records")
 	seed := cli.Seed()
+	schemaPath := cli.Schema("JSON dataset spec to synthesize under (default: built-in Adult)")
 	out := flag.String("o", "", "output file (default stdout)")
 	workers := cli.Workers()
 	flag.Parse()
 
-	table := adult.Generate(*n, *seed)
+	spec := adult.Spec()
+	if *schemaPath != "" {
+		var err error
+		if spec, err = schema.Load(*schemaPath); err != nil {
+			cli.Fatal("datagen", err)
+		}
+	}
+	table, err := schema.Synthesize(spec, *n, *seed)
+	if err != nil {
+		cli.Fatal("datagen", err)
+	}
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)

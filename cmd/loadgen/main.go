@@ -11,6 +11,12 @@
 //
 //	loadgen [-addr http://127.0.0.1:8080] [-concurrency C] [-duration D]
 //	        [-n N] [-seed S] [-mix anonymize:1,attack:4,risk:2] [-models distinct,bt]
+//	        [-schema spec.json]
+//
+// -schema registers the given declarative spec over POST /v1/schemas,
+// ingests a second dataset under it, and warms its releases alongside
+// the Adult ones, so the steady-state mix drives multi-schema traffic
+// and the server's cache ledger exercises schema-keyed addressing.
 package main
 
 import (
@@ -82,6 +88,7 @@ func main() {
 	seed := cli.Seed()
 	mixSpec := flag.String("mix", "anonymize:1,attack:4,risk:2", "scenario mix as name:weight[,name:weight...]")
 	modelsSpec := flag.String("models", "distinct,bt", "models to warm and cycle (comma-separated)")
+	schemaPath := cli.Schema("JSON dataset spec to register and mix into the workload")
 	flag.Parse()
 
 	mix, err := parseMix(*mixSpec)
@@ -99,32 +106,59 @@ func main() {
 	}
 
 	// Ingest the dataset (content-addressed: reruns reuse it).
-	var ds service.DatasetResponse
-	start := time.Now()
-	if _, err := c.postJSON("/v1/datasets", fmt.Sprintf(`{"n":%d,"seed":%d}`, *n, *seed), &ds); err != nil {
-		cli.Fatal("loadgen", fmt.Errorf("ingesting dataset: %w", err))
+	ingest := func(schemaRef string) service.DatasetResponse {
+		body := fmt.Sprintf(`{"n":%d,"seed":%d}`, *n, *seed)
+		if schemaRef != "" {
+			body = fmt.Sprintf(`{"n":%d,"seed":%d,"schema":%q}`, *n, *seed, schemaRef)
+		}
+		var ds service.DatasetResponse
+		start := time.Now()
+		if _, err := c.postJSON("/v1/datasets", body, &ds); err != nil {
+			cli.Fatal("loadgen", fmt.Errorf("ingesting dataset: %w", err))
+		}
+		fmt.Printf("dataset %s (schema %s): %d records (cached=%v, %.2fs)\n",
+			ds.ID, ds.Schema, ds.Records, ds.Cached, time.Since(start).Seconds())
+		return ds
 	}
-	fmt.Printf("dataset %s: %d records (cached=%v, %.2fs)\n", ds.ID, ds.Records, ds.Cached, time.Since(start).Seconds())
+	datasets := []service.DatasetResponse{ingest("")}
 
-	// Warm one release per (model, para): these are the keys the
-	// anonymize scenario cycles through, so steady-state anonymize
+	// -schema: register the spec and ingest a second dataset under it,
+	// so the steady-state mix carries multi-schema traffic and the
+	// release store keys Adult and non-Adult artifacts apart.
+	if *schemaPath != "" {
+		doc, err := os.ReadFile(*schemaPath)
+		if err != nil {
+			cli.Fatal("loadgen", err)
+		}
+		var reg service.SchemaRegisterResponse
+		if _, err := c.postJSON("/v1/schemas", string(doc), &reg); err != nil {
+			cli.Fatal("loadgen", fmt.Errorf("registering schema: %w", err))
+		}
+		fmt.Printf("schema %s registered as %s (existed=%v)\n", reg.Name, reg.ID, reg.Existed)
+		datasets = append(datasets, ingest(reg.ID))
+	}
+
+	// Warm one release per (dataset, model, para): these are the keys
+	// the anonymize scenario cycles through, so steady-state anonymize
 	// traffic is served from the release store.
 	paras := core.Table5()[:2]
 	type warmRelease struct{ body, id string }
 	var releases []warmRelease
-	for _, m := range models {
-		for _, p := range paras {
-			body := fmt.Sprintf(`{"dataset":%q,"model":%q,"k":%d,"l":%d,"t":%s,"b":%s}`,
-				ds.ID, strings.TrimSpace(m), p.K, p.L,
-				strconv.FormatFloat(p.T, 'g', -1, 64), strconv.FormatFloat(p.B, 'g', -1, 64))
-			var resp service.AnonymizeResponse
-			t0 := time.Now()
-			if _, err := c.postJSON("/v1/anonymize", body, &resp); err != nil {
-				cli.Fatal("loadgen", fmt.Errorf("warming %s k=%d: %w", m, p.K, err))
+	for _, ds := range datasets {
+		for _, m := range models {
+			for _, p := range paras {
+				body := fmt.Sprintf(`{"dataset":%q,"model":%q,"k":%d,"l":%d,"t":%s,"b":%s}`,
+					ds.ID, strings.TrimSpace(m), p.K, p.L,
+					strconv.FormatFloat(p.T, 'g', -1, 64), strconv.FormatFloat(p.B, 'g', -1, 64))
+				var resp service.AnonymizeResponse
+				t0 := time.Now()
+				if _, err := c.postJSON("/v1/anonymize", body, &resp); err != nil {
+					cli.Fatal("loadgen", fmt.Errorf("warming %s k=%d on %s: %w", m, p.K, ds.ID, err))
+				}
+				fmt.Printf("warmed %s (%s %s k=%d: %d groups, %.2fs, cached=%v)\n",
+					resp.Release, ds.ID, strings.TrimSpace(m), p.K, resp.Groups, time.Since(t0).Seconds(), resp.Cached)
+				releases = append(releases, warmRelease{body: body, id: resp.Release})
 			}
-			fmt.Printf("warmed %s (%s k=%d: %d groups, %.2fs, cached=%v)\n",
-				resp.Release, strings.TrimSpace(m), p.K, resp.Groups, time.Since(t0).Seconds(), resp.Cached)
-			releases = append(releases, warmRelease{body: body, id: resp.Release})
 		}
 	}
 

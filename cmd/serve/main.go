@@ -6,11 +6,16 @@
 // Usage:
 //
 //	serve [-addr :8080] [-workers W] [-releases 128] [-datasets 8]
+//	      [-schema spec.json[,spec2.json...]]
 //
-// Endpoints: POST /v1/datasets, /v1/anonymize, /v1/attack, /v1/risk;
-// GET /v1/releases/{id}, /healthz, /metrics. See DESIGN.md ("Service
-// layer") for the endpoint table and store semantics; cmd/loadgen
-// drives a running instance under load.
+// Endpoints: POST/GET /v1/schemas; POST /v1/datasets, /v1/anonymize,
+// /v1/attack, /v1/risk; GET /v1/releases/{id}, /healthz, /metrics.
+// The schema registry boots with the built-in Adult spec; -schema
+// preloads additional declarative specs (see examples/schemas/) so
+// clients can synthesize and upload under them immediately. See
+// DESIGN.md ("Schema registry", "Service layer") for the endpoint
+// table and store semantics; cmd/loadgen drives a running instance
+// under load.
 package main
 
 import (
@@ -21,10 +26,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/schema"
 	"repro/internal/service"
 )
 
@@ -32,6 +39,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	releases := flag.Int("releases", 128, "release store capacity (LRU entries)")
 	datasets := flag.Int("datasets", 8, "dataset store capacity (LRU entries)")
+	schemas := cli.Schema("comma-separated JSON dataset specs to preload at boot")
 	workers := cli.Workers()
 	flag.Parse()
 
@@ -41,6 +49,19 @@ func main() {
 		ReleaseCap: *releases,
 		DatasetCap: *datasets,
 	})
+	if *schemas != "" {
+		for _, path := range strings.Split(*schemas, ",") {
+			spec, err := schema.Load(strings.TrimSpace(path))
+			if err != nil {
+				cli.Fatal("serve", err)
+			}
+			id, existed, err := srv.Schemas().Register(spec)
+			if err != nil {
+				cli.Fatal("serve", err)
+			}
+			logger.Printf("schema %s preloaded as %s (existed=%v)", spec.Name, id, existed)
+		}
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,

@@ -24,14 +24,27 @@
 // (0 = all cores, negative = sequential) or with core.WithWorkers,
 // where any n ≤ 0 requests the sequential path outright.
 //
+// The schema registry (internal/schema) makes the system
+// multi-scenario: a dataset is a declarative, JSON-loadable spec —
+// attributes with categorical domains or numeric ranges, per-attribute
+// generalization hierarchies as nested label trees, one sensitive
+// attribute, and an optional conditional synthesis model with weighted
+// QI→sensitive dependencies and hard negative-association constraints
+// (the paper's §I example). Specs are content-addressed, synthesis is
+// deterministic given (spec, n, seed), and the built-in Adult dataset
+// (internal/adult) is itself a registered spec; example specs live
+// under examples/schemas/.
+//
 // The serving layer (internal/service, cmd/serve) exposes the whole
-// pipeline as a long-running HTTP/JSON API: datasets keep their engine
-// warm across requests, releases live in a content-addressed store
-// with LRU eviction and singleflight dedup of concurrent identical
-// requests, and cmd/loadgen measures the resulting throughput with a
-// closed-loop mixed-scenario load generator.
+// pipeline as a long-running HTTP/JSON API: schemas register over
+// POST /v1/schemas, datasets keep their engine warm across requests,
+// releases live in a content-addressed store with LRU eviction and
+// singleflight dedup of concurrent identical requests, and
+// cmd/loadgen measures the resulting throughput with a closed-loop
+// mixed-scenario (and multi-schema) load generator.
 //
 // Start with examples/quickstart or README.md, or see DESIGN.md for
-// the system inventory, the concurrency model, the service layer, and
-// the index mapping each benchmark to its paper figure.
+// the system inventory, the concurrency model, the schema registry,
+// the service layer, and the index mapping each benchmark to its
+// paper figure.
 package repro

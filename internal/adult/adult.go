@@ -17,10 +17,12 @@
 package adult
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/dataset"
 	"repro/internal/hierarchy"
+	"repro/internal/schema"
 )
 
 // Attribute domains, mirroring UCI Adult after removing missing values.
@@ -76,47 +78,27 @@ const (
 	AgeMax = 90
 )
 
-// NewSchema builds a fresh Adult schema. Attributes are freshly
-// allocated so concurrent tables never share mutable state.
-func NewSchema() *dataset.Schema {
-	ages := make([]float64, 0, AgeMax-AgeMin+1)
-	for a := AgeMin; a <= AgeMax; a++ {
-		ages = append(ages, float64(a))
-	}
-	return &dataset.Schema{
-		QI: []*dataset.Attribute{
-			dataset.NewNumeric("Age", ages),
-			dataset.NewCategorical("Workclass", workclassValues),
-			dataset.NewCategorical("Education", educationValues),
-			dataset.NewCategorical("Marital-status", maritalValues),
-			dataset.NewCategorical("Race", raceValues),
-			dataset.NewCategorical("Sex", sexValues),
-		},
-		Sensitive: dataset.NewCategorical("Occupation", occupationValues),
-	}
-}
+// NewSchema builds a fresh Adult schema from the registry spec.
+// Attributes are freshly allocated so concurrent tables never share
+// mutable state.
+func NewSchema() *dataset.Schema { return Spec().DatasetSchema() }
 
 // Specs returns the CSV column specs of the Adult schema, for loading
 // external microdata files with the same layout (Age numeric;
 // Workclass, Education, Marital-status, Race, Sex categorical;
 // Occupation sensitive). Shared by the anonymize CLI and the serving
 // layer's upload path.
-func Specs() []dataset.ColumnSpec {
-	return []dataset.ColumnSpec{
-		{Name: "Age", Kind: dataset.Numeric},
-		{Name: "Workclass", Kind: dataset.Categorical},
-		{Name: "Education", Kind: dataset.Categorical},
-		{Name: "Marital-status", Kind: dataset.Categorical},
-		{Name: "Race", Kind: dataset.Categorical},
-		{Name: "Sex", Kind: dataset.Categorical},
-		{Name: "Occupation", Kind: dataset.Categorical, Sensitive: true},
-	}
-}
+func Specs() []dataset.ColumnSpec { return Spec().ColumnSpecs() }
 
 // Hierarchies returns the generalization hierarchies for the
-// categorical attributes. Occupation's hierarchy has height 2, matching
-// §IV-B.2's smoothing-bandwidth discussion.
-func Hierarchies() map[string]*hierarchy.Hierarchy {
+// categorical attributes, rebuilt from the registry spec's declarative
+// trees. Occupation's hierarchy has height 2, matching §IV-B.2's
+// smoothing-bandwidth discussion.
+func Hierarchies() map[string]*hierarchy.Hierarchy { return Spec().Hierarchies() }
+
+// builtinHierarchies is the literal source of the Adult hierarchies;
+// Spec serializes these into declarative trees.
+func builtinHierarchies() map[string]*hierarchy.Hierarchy {
 	return map[string]*hierarchy.Hierarchy{
 		// QI hierarchies have height 3, giving semantic distances
 		// {1/3, 2/3, 1}: the adversary-bandwidth sweep b' ∈ [0.2, 0.5]
@@ -198,8 +180,21 @@ func OccupationHierarchy() *hierarchy.Hierarchy {
 }
 
 // Generate builds a synthetic Adult-like table of n records with the
-// given seed. The same (n, seed) always yields the same table.
+// given seed, dispatching through the schema registry's generator
+// path (schema.Synthesize on Spec). The same (n, seed) always yields
+// the same table.
 func Generate(n int, seed int64) *dataset.Table {
+	t, err := schema.Synthesize(Spec(), n, seed)
+	if err != nil {
+		// Spec registers its own generator in this package's init, so
+		// dispatch cannot fail.
+		panic(fmt.Sprintf("adult: %v", err))
+	}
+	return t
+}
+
+// generate is the native sampler behind the spec's "adult" generator.
+func generate(n int, seed int64) *dataset.Table {
 	sch := NewSchema()
 	rng := rand.New(rand.NewSource(seed))
 	t := &dataset.Table{Schema: sch, Records: make([]dataset.Record, 0, n)}

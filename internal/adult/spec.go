@@ -1,0 +1,37 @@
+package adult
+
+import (
+	"repro/internal/hierarchy"
+	"repro/internal/schema"
+)
+
+// The conditional model below (sample and friends) is a log-linear
+// sampler too rich for the declarative synthesis schema, so the Adult
+// spec names it as a native generator; schema.Synthesize dispatches
+// back here.
+func init() { schema.RegisterGenerator("adult", generate) }
+
+// Spec returns the Adult dataset as a declarative schema-registry
+// spec: the single source of truth the serving layer registers at
+// boot. NewSchema, Specs, Hierarchies, and Generate are all thin
+// wrappers over it.
+func Spec() *schema.Spec {
+	hiers := builtinHierarchies()
+	tree := func(name string) *hierarchy.Tree { return hiers[name].Tree() }
+	return &schema.Spec{
+		Name: "adult",
+		Doc: "Synthetic Adult-like census microdata (paper Table IV): " +
+			"six QI attributes, sensitive Occupation, native conditional generator.",
+		Generator: "adult",
+		Attributes: []schema.Attr{
+			{Name: "Age", Kind: "numeric", Range: &schema.NumericRange{Min: AgeMin, Max: AgeMax}},
+			{Name: "Workclass", Kind: "categorical", Values: workclassValues, Hierarchy: tree("Workclass")},
+			{Name: "Education", Kind: "categorical", Values: educationValues, Hierarchy: tree("Education")},
+			{Name: "Marital-status", Kind: "categorical", Values: maritalValues, Hierarchy: tree("Marital-status")},
+			{Name: "Race", Kind: "categorical", Values: raceValues, Hierarchy: tree("Race")},
+			{Name: "Sex", Kind: "categorical", Values: sexValues, Hierarchy: tree("Sex")},
+			{Name: "Occupation", Kind: "categorical", Sensitive: true,
+				Values: occupationValues, Hierarchy: tree("Occupation")},
+		},
+	}
+}

@@ -1,0 +1,93 @@
+package adult
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/schema"
+)
+
+// TestGenerateGolden pins the generator's output bytes: the hashes
+// were computed from the pre-registry implementation, so the schema
+// refactor (Generate dispatching through schema.Synthesize and the
+// spec-derived schema) provably preserves byte-identical tables for
+// the same (n, seed).
+func TestGenerateGolden(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		seed int64
+		want string
+	}{
+		{1000, 42, "5244ebaa2e5b1b327112f4554d24c20f656641e3295e391c77a1323a9d4c9b9f"},
+		{257, 7, "33898fa3e4854431d28104d399a262d2a02d3076d060f29ca90cedb4e5eb85f6"},
+	} {
+		var buf bytes.Buffer
+		if err := dataset.WriteCSV(&buf, Generate(tc.n, tc.seed)); err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		if got := hex.EncodeToString(sum[:]); got != tc.want {
+			t.Errorf("Generate(%d, %d) CSV hash = %s, want %s", tc.n, tc.seed, got, tc.want)
+		}
+	}
+}
+
+func TestSpecValidatesAndFingerprints(t *testing.T) {
+	s := Spec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fingerprint() != Spec().Fingerprint() {
+		t.Error("Spec fingerprint is not stable across calls")
+	}
+}
+
+func TestSpecRegistersAndSynthesizes(t *testing.T) {
+	r := schema.NewRegistry()
+	id := r.MustRegister(Spec())
+	got, gotID, ok := r.Resolve("adult")
+	if !ok || gotID != id {
+		t.Fatalf("resolve by name: ok=%v id=%q want %q", ok, gotID, id)
+	}
+	tab, err := schema.Synthesize(got, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Generate(100, 5)
+	for i := range want.Records {
+		if tab.Records[i].S != want.Records[i].S {
+			t.Fatalf("record %d differs between registry synthesis and Generate", i)
+		}
+	}
+}
+
+func TestSpecHierarchiesMatchBuiltins(t *testing.T) {
+	built := builtinHierarchies()
+	derived := Spec().Hierarchies()
+	if len(derived) != len(built) {
+		t.Fatalf("%d hierarchies from spec, %d built in", len(derived), len(built))
+	}
+	for name, h := range built {
+		d, ok := derived[name]
+		if !ok {
+			t.Errorf("spec lost hierarchy %s", name)
+			continue
+		}
+		if d.Height() != h.Height() {
+			t.Errorf("%s: height %d vs %d", name, d.Height(), h.Height())
+		}
+		hl, dl := h.Leaves(), d.Leaves()
+		if len(hl) != len(dl) {
+			t.Errorf("%s: %d leaves vs %d", name, len(hl), len(dl))
+			continue
+		}
+		for i := range hl {
+			if hl[i] != dl[i] {
+				t.Errorf("%s leaf %d: %q vs %q", name, i, hl[i], dl[i])
+			}
+		}
+	}
+}

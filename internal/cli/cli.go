@@ -28,6 +28,12 @@ func N(def int, usage string) *int { return flag.Int("n", def, usage) }
 // Seed registers the conventional -seed flag (default 42 everywhere).
 func Seed() *int64 { return flag.Int64("seed", 42, "generator seed") }
 
+// Schema registers the conventional -schema flag: a path (or paths) to
+// JSON dataset specs for the schema registry (internal/schema). The
+// empty default means the built-in Adult spec. The usage string varies
+// per tool (synthesize under, preload at boot, register over HTTP).
+func Schema(usage string) *string { return flag.String("schema", "", usage) }
+
 // Model is the privacy-model parameter block shared by anonymize,
 // attack, and loadgen: the model name plus the Table V-style
 // (k, l, t, b) parameters.

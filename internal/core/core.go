@@ -320,7 +320,7 @@ func (e *Engine) RunAlgorithm(algo, model string, p Params) (res *anonymize.Resu
 			return nil, nil, err
 		}
 	case "incognito":
-		ladders, lerr := incognito.AdultLadders(e.Table.Schema, e.Hiers)
+		ladders, lerr := incognito.Ladders(e.Table.Schema, e.Hiers)
 		if lerr != nil {
 			return nil, nil, lerr
 		}

@@ -1,0 +1,64 @@
+package hierarchy
+
+import "fmt"
+
+// Tree is the declarative, JSON-loadable form of a generalization
+// hierarchy: a nested label tree. It is the wire format the schema
+// registry uses — a Tree carries no derived state (depths, leaf index),
+// so it can be unmarshaled from untrusted input and then finalized
+// through FromTree, which performs all validation.
+//
+// A node with no children is a leaf, i.e. a domain value; internal
+// nodes are generalized labels.
+type Tree struct {
+	Label    string  `json:"label"`
+	Children []*Tree `json:"children,omitempty"`
+}
+
+// FromTree finalizes a declarative tree into a Hierarchy, validating
+// shape as it goes: non-empty labels everywhere, unique leaf labels,
+// and a root with at least one child (a height-0 hierarchy generalizes
+// nothing). The tree is copied, so the caller's Tree stays inert.
+func FromTree(t *Tree) (*Hierarchy, error) {
+	if t == nil {
+		return nil, fmt.Errorf("hierarchy: nil tree")
+	}
+	root, err := nodeFromTree(t)
+	if err != nil {
+		return nil, err
+	}
+	return New(root)
+}
+
+func nodeFromTree(t *Tree) (*Node, error) {
+	if t.Label == "" {
+		return nil, fmt.Errorf("hierarchy: node with empty label")
+	}
+	n := &Node{Label: t.Label}
+	for _, c := range t.Children {
+		if c == nil {
+			return nil, fmt.Errorf("hierarchy: nil child under %q", t.Label)
+		}
+		cn, err := nodeFromTree(c)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, cn)
+	}
+	return n, nil
+}
+
+// Tree returns the declarative form of the hierarchy — the inverse of
+// FromTree, used to derive a serializable spec from a hierarchy built
+// in code (e.g. the built-in Adult hierarchies).
+func (h *Hierarchy) Tree() *Tree {
+	var walk func(n *Node) *Tree
+	walk = func(n *Node) *Tree {
+		t := &Tree{Label: n.Label}
+		for _, c := range n.Children {
+			t.Children = append(t.Children, walk(c))
+		}
+		return t
+	}
+	return walk(h.Root)
+}

@@ -1,0 +1,86 @@
+package hierarchy
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestFromTreeRoundTrip(t *testing.T) {
+	h := MustNew(N("*",
+		N("Resp", N("Flu"), N("Pneumonia")),
+		N("Other", N("Gastritis")),
+	))
+	h2, err := FromTree(h.Tree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Height() != h.Height() {
+		t.Fatalf("height %d != %d", h2.Height(), h.Height())
+	}
+	al, bl := h.Leaves(), h2.Leaves()
+	if len(al) != len(bl) {
+		t.Fatalf("leaf counts differ: %d vs %d", len(al), len(bl))
+	}
+	for i := range al {
+		if al[i] != bl[i] {
+			t.Fatalf("leaf %d: %q vs %q", i, al[i], bl[i])
+		}
+	}
+	for _, a := range al {
+		for _, b := range bl {
+			da, err := h.Distance(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			db, err := h2.Distance(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if da != db {
+				t.Fatalf("distance(%q,%q): %g vs %g", a, b, da, db)
+			}
+		}
+	}
+}
+
+func TestFromTreeJSON(t *testing.T) {
+	src := `{"label":"*","children":[
+		{"label":"Resp","children":[{"label":"Flu"},{"label":"Pneumonia"}]},
+		{"label":"Other","children":[{"label":"Gastritis"}]}]}`
+	var tr Tree
+	if err := json.Unmarshal([]byte(src), &tr); err != nil {
+		t.Fatal(err)
+	}
+	h, err := FromTree(&tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Height() != 2 {
+		t.Fatalf("height = %d, want 2", h.Height())
+	}
+	d, err := h.Distance("Flu", "Pneumonia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0.5 {
+		t.Fatalf("sibling distance = %g, want 0.5", d)
+	}
+}
+
+func TestFromTreeErrors(t *testing.T) {
+	for name, tr := range map[string]*Tree{
+		"nil tree":       nil,
+		"empty label":    {Label: ""},
+		"leaf-only root": {Label: "*"},
+		"empty child":    {Label: "*", Children: []*Tree{{Label: ""}}},
+		"nil child":      {Label: "*", Children: []*Tree{nil}},
+		"duplicate leaves": {Label: "*", Children: []*Tree{
+			{Label: "A", Children: []*Tree{{Label: "X"}}},
+			{Label: "B", Children: []*Tree{{Label: "X"}}},
+		}},
+	} {
+		if _, err := FromTree(tr); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

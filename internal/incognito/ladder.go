@@ -134,9 +134,13 @@ func FlatLadder(a *dataset.Attribute) *Ladder {
 	return l
 }
 
-// AdultLadders builds ladders for the synthetic Adult schema: 5-, 10-,
-// 20-, 40-year age bands, hierarchy cuts for the categoricals.
-func AdultLadders(sch *dataset.Schema, hiers map[string]*hierarchy.Hierarchy) ([]*Ladder, error) {
+// Ladders builds the default generalization ladders for any schema:
+// numeric attributes get 5-, 10-, 20-, 40-unit bands (plus identity
+// and *), categorical attributes with a hierarchy get its level cuts,
+// and the rest fall back to the two-level flat ladder. This is the
+// schema-generic construction the engine's Incognito dispatch uses;
+// the Adult schema is just one instantiation.
+func Ladders(sch *dataset.Schema, hiers map[string]*hierarchy.Hierarchy) ([]*Ladder, error) {
 	out := make([]*Ladder, len(sch.QI))
 	for i, a := range sch.QI {
 		var err error
@@ -153,4 +157,10 @@ func AdultLadders(sch *dataset.Schema, hiers map[string]*hierarchy.Hierarchy) ([
 		}
 	}
 	return out, nil
+}
+
+// AdultLadders is the historical name of Ladders, kept for callers
+// predating the schema registry.
+func AdultLadders(sch *dataset.Schema, hiers map[string]*hierarchy.Hierarchy) ([]*Ladder, error) {
+	return Ladders(sch, hiers)
 }

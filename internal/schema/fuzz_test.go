@@ -1,0 +1,63 @@
+package schema
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseSpec hammers the JSON spec parser. The invariants for any
+// input Parse accepts: the spec validates (Parse's contract), its
+// fingerprint is stable under a marshal→parse round trip (the
+// content-addressing the registry and service keying rely on), and a
+// small synthesis run either errors cleanly or yields a table passing
+// Validate — never a panic.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		`{"name":"m","attributes":[
+			{"name":"G","kind":"categorical","values":["a","b"]},
+			{"name":"S","kind":"categorical","sensitive":true,"values":["x","y"]}]}`,
+		`{"name":"h","attributes":[
+			{"name":"Age","kind":"numeric","range":{"min":0,"max":9}},
+			{"name":"D","kind":"categorical","sensitive":true,"hierarchy":
+				{"label":"*","children":[{"label":"A","children":[{"label":"a1"},{"label":"a2"}]},{"label":"b"}]}}],
+		 "synthesis":{"weights":{"D":{"a1":2}},
+			"dependencies":[{"when":{"attr":"Age","min":5},"scale":{"a2":3}}],
+			"constraints":[{"attr":"Age","value":"0","sensitive":"b"}]}}`,
+		`{"name":"bad","attributes":[]}`,
+		`{"name":"dup","attributes":[
+			{"name":"A","kind":"categorical","values":["x","x"]},
+			{"name":"S","kind":"categorical","sensitive":true,"values":["y"]}]}`,
+		`{{{`,
+		`null`,
+		`{"name":"r","attributes":[
+			{"name":"N","kind":"numeric","range":{"min":0,"max":1e18,"step":1e-9}},
+			{"name":"S","kind":"categorical","sensitive":true,"values":["y"]}]}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			return
+		}
+		fp := s.Fingerprint()
+		canon, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshaling accepted spec: %v", err)
+		}
+		s2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("re-parse of marshaled spec failed: %v\ncanon: %s", err, canon)
+		}
+		if s2.Fingerprint() != fp {
+			t.Fatalf("fingerprint unstable across round trip: %s vs %s", fp, s2.Fingerprint())
+		}
+		tab, err := Synthesize(s, 3, 1)
+		if err != nil {
+			return // e.g. over-constrained sensitive domain: clean error
+		}
+		if verr := tab.Validate(); verr != nil {
+			t.Fatalf("synthesized table fails validation: %v", verr)
+		}
+	})
+}

@@ -1,0 +1,47 @@
+package schema
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// MaxSpecBytes caps the size of a JSON spec document (1 MiB). Specs
+// are configuration, not data; anything larger is a mistake or abuse.
+const MaxSpecBytes = 1 << 20
+
+// Parse decodes and validates a JSON spec document. Unknown fields and
+// trailing garbage are rejected, so a typoed key fails loudly instead
+// of silently dropping part of the model.
+func Parse(data []byte) (*Spec, error) {
+	if len(data) > MaxSpecBytes {
+		return nil, fmt.Errorf("schema: spec document is %d bytes (max %d)", len(data), MaxSpecBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("schema: decoding spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("schema: trailing data after spec document")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and parses a spec file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("schema: reading %s: %w", path, err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("schema: %s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,236 @@
+package schema
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// Generator is a native synthesizer for a built-in spec: a Go sampler
+// too rich to express declaratively (e.g. the Adult log-linear model).
+// It must be fully deterministic given (n, seed).
+type Generator func(n int, seed int64) *dataset.Table
+
+var (
+	generatorsMu sync.Mutex
+	generators   = map[string]Generator{}
+)
+
+// RegisterGenerator installs a native generator under a name, making
+// specs with Generator set to that name synthesizable. Built-in
+// packages call this from init; registering a name twice panics.
+func RegisterGenerator(name string, g Generator) {
+	generatorsMu.Lock()
+	defer generatorsMu.Unlock()
+	if name == "" || g == nil {
+		panic("schema: RegisterGenerator with empty name or nil generator")
+	}
+	if _, dup := generators[name]; dup {
+		panic(fmt.Sprintf("schema: generator %q registered twice", name))
+	}
+	generators[name] = g
+}
+
+// Synthesize builds a table of n records from the spec, fully
+// deterministic given (spec, n, seed). Specs naming a native Generator
+// dispatch to it; otherwise records are drawn from the declarative
+// conditional model: each QI attribute from its weight profile, then
+// the sensitive attribute from its base weights scaled by every
+// matching dependency and zeroed by every matching constraint.
+func Synthesize(s *Spec, n int, seed int64) (*dataset.Table, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("schema: negative table size %d", n)
+	}
+	if s.Generator != "" {
+		generatorsMu.Lock()
+		g, ok := generators[s.Generator]
+		generatorsMu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("schema %s: unknown generator %q", s.Name, s.Generator)
+		}
+		return g(n, seed), nil
+	}
+	sam, err := newSampler(s)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := &dataset.Table{Schema: sam.schema, Records: make([]dataset.Record, 0, n)}
+	for i := 0; i < n; i++ {
+		rec, err := sam.sample(rng)
+		if err != nil {
+			return nil, err
+		}
+		t.Records = append(t.Records, rec)
+	}
+	return t, nil
+}
+
+// sampler is the compiled form of a spec's synthesis model: weight
+// vectors aligned with domain indexes, dependencies resolved to
+// matchers over QI indexes, constraints folded into dependencies with
+// factor 0.
+type sampler struct {
+	schema *dataset.Schema
+	// qiWeights[i] is the cumulative-free weight vector of QI i.
+	qiWeights [][]float64
+	// sensBase is the sensitive attribute's marginal weight vector.
+	sensBase []float64
+	deps     []compiledDep
+}
+
+// compiledDep is one resolved dependency or constraint: match reports
+// whether a QI value index satisfies the condition; scale is the
+// per-sensitive-index factor (1 where untouched).
+type compiledDep struct {
+	qi    int
+	match []bool    // per domain index of QI qi
+	scale []float64 // per sensitive domain index
+}
+
+func newSampler(s *Spec) (*sampler, error) {
+	sch := s.DatasetSchema()
+	sam := &sampler{schema: sch}
+
+	var weights map[string]map[string]float64
+	if s.Synthesis != nil {
+		weights = s.Synthesis.Weights
+	}
+	vector := func(a *dataset.Attribute) []float64 {
+		w := make([]float64, a.Size())
+		profile := weights[a.Name]
+		for i := range w {
+			w[i] = 1
+			if f, ok := profile[a.Value(i)]; ok {
+				w[i] = f
+			}
+		}
+		return w
+	}
+	for _, a := range sch.QI {
+		sam.qiWeights = append(sam.qiWeights, vector(a))
+	}
+	sam.sensBase = vector(sch.Sensitive)
+
+	if s.Synthesis == nil {
+		return sam, nil
+	}
+	qiAt := map[string]int{}
+	for i, a := range sch.QI {
+		qiAt[a.Name] = i
+	}
+	for _, dep := range s.Synthesis.Dependencies {
+		cd, err := compileDep(sch, qiAt, dep.When, dep.Scale)
+		if err != nil {
+			return nil, fmt.Errorf("schema %s: %w", s.Name, err)
+		}
+		sam.deps = append(sam.deps, cd)
+	}
+	for _, c := range s.Synthesis.Constraints {
+		cd, err := compileDep(sch, qiAt,
+			Condition{Attr: c.Attr, Values: []string{c.Value}},
+			map[string]float64{c.Sensitive: 0})
+		if err != nil {
+			return nil, fmt.Errorf("schema %s: %w", s.Name, err)
+		}
+		sam.deps = append(sam.deps, cd)
+	}
+	return sam, nil
+}
+
+func compileDep(sch *dataset.Schema, qiAt map[string]int, when Condition, scale map[string]float64) (compiledDep, error) {
+	qi, ok := qiAt[when.Attr]
+	if !ok {
+		return compiledDep{}, fmt.Errorf("condition references unknown QI attribute %q", when.Attr)
+	}
+	a := sch.QI[qi]
+	match := make([]bool, a.Size())
+	if a.Kind == dataset.Numeric && (when.Min != nil || when.Max != nil) {
+		for i := range match {
+			v := a.Num(i)
+			match[i] = (when.Min == nil || v >= *when.Min) && (when.Max == nil || v <= *when.Max)
+		}
+	} else {
+		for _, val := range when.Values {
+			i, ok := a.Index(val)
+			if !ok {
+				return compiledDep{}, fmt.Errorf("condition value %q not in %s domain", val, a.Name)
+			}
+			match[i] = true
+		}
+	}
+	sv := make([]float64, sch.Sensitive.Size())
+	for i := range sv {
+		sv[i] = 1
+	}
+	for val, f := range scale {
+		i, ok := sch.Sensitive.Index(val)
+		if !ok {
+			return compiledDep{}, fmt.Errorf("scale value %q not in sensitive domain", val)
+		}
+		sv[i] = f
+	}
+	return compiledDep{qi: qi, match: match, scale: sv}, nil
+}
+
+// sample draws one record: QI attributes independently from their
+// profiles, then the sensitive value conditioned on them.
+func (s *sampler) sample(rng *rand.Rand) (dataset.Record, error) {
+	rec := dataset.Record{QI: make([]int, len(s.qiWeights))}
+	for i, w := range s.qiWeights {
+		rec.QI[i] = weightedIndex(rng, w)
+	}
+	w := append([]float64(nil), s.sensBase...)
+	for _, dep := range s.deps {
+		if !dep.match[rec.QI[dep.qi]] {
+			continue
+		}
+		for i, f := range dep.scale {
+			w[i] *= f
+		}
+	}
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	if total <= 0 {
+		return dataset.Record{}, fmt.Errorf(
+			"schema: dependencies and constraints zero out every sensitive value for QI %v", s.describeQI(rec.QI))
+	}
+	rec.S = weightedIndex(rng, w)
+	return rec, nil
+}
+
+// describeQI renders a QI index vector as name=value pairs for the
+// all-zero-weights error.
+func (s *sampler) describeQI(qi []int) []string {
+	out := make([]string, len(qi))
+	for i, v := range qi {
+		out[i] = s.schema.QI[i].Name + "=" + s.schema.QI[i].Value(v)
+	}
+	return out
+}
+
+// weightedIndex draws an index proportionally to the (unnormalized,
+// non-negative) weights, consuming exactly one rng value.
+func weightedIndex(rng *rand.Rand, w []float64) int {
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	u := rng.Float64() * total
+	for i, x := range w {
+		u -= x
+		if u <= 0 && x > 0 {
+			return i
+		}
+	}
+	for i := len(w) - 1; i >= 0; i-- {
+		if w[i] > 0 {
+			return i
+		}
+	}
+	return 0
+}

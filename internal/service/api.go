@@ -8,13 +8,20 @@
 //
 // Endpoints:
 //
-//	POST /v1/datasets        ingest CSV (text/csv) or synthesize by (n, seed)
+//	POST /v1/schemas         register a declarative dataset spec (JSON)
+//	GET  /v1/schemas         list registered schemas
+//	POST /v1/datasets        ingest CSV (text/csv, ?schema=ref) or synthesize by (n, seed, schema)
 //	POST /v1/anonymize       anonymize a dataset, returning a release handle
 //	POST /v1/attack          background-knowledge attack against a release
 //	POST /v1/risk            worst-case disclosure risk of a release
 //	GET  /v1/releases/{id}   release metadata
 //	GET  /healthz            liveness
 //	GET  /metrics            counters and latency quantiles (JSON)
+//
+// Schemas make the service multi-scenario: every dataset is decoded,
+// synthesized, and engined under a registered spec (the built-in
+// "adult" spec when none is named), so one server concurrently holds
+// hospital, financial, and census workloads keyed apart by schema id.
 //
 // All computation runs on the bounded worker pool configured at server
 // construction; responses are bit-identical at any pool size (the
@@ -29,19 +36,47 @@ import (
 	"strings"
 )
 
-// DatasetRequest asks for a synthetic Adult-like table. CSV ingestion
-// uses the request body directly (Content-Type: text/csv) instead.
+// DatasetRequest asks for a synthetic table under a registered schema
+// (id or name; default "adult"). CSV ingestion uses the request body
+// directly (Content-Type: text/csv, schema named by the ?schema=
+// query parameter) instead.
 type DatasetRequest struct {
-	N    int   `json:"n"`
-	Seed int64 `json:"seed"`
+	N      int    `json:"n"`
+	Seed   int64  `json:"seed"`
+	Schema string `json:"schema,omitempty"`
 }
 
 // DatasetResponse identifies an ingested dataset. Cached reports that
 // the dataset (same content hash) was already resident.
 type DatasetResponse struct {
 	ID      string `json:"id"`
+	Schema  string `json:"schema"`
 	Records int    `json:"records"`
 	Cached  bool   `json:"cached"`
+}
+
+// SchemaRegisterResponse acknowledges a spec registration. Existed
+// reports that identical content was already registered (the id is
+// content-addressed, so re-registering is idempotent).
+type SchemaRegisterResponse struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	Existed bool   `json:"existed"`
+}
+
+// SchemaInfo is one row of GET /v1/schemas.
+type SchemaInfo struct {
+	ID        string   `json:"id"`
+	Name      string   `json:"name"`
+	Doc       string   `json:"doc,omitempty"`
+	QI        []string `json:"qi"`
+	Sensitive string   `json:"sensitive"`
+	Generator string   `json:"generator,omitempty"`
+}
+
+// SchemaListResponse is the GET /v1/schemas payload.
+type SchemaListResponse struct {
+	Schemas []SchemaInfo `json:"schemas"`
 }
 
 // AnonymizeRequest names a dataset and the algorithm, privacy model,
@@ -169,6 +204,7 @@ type RiskResponse struct {
 type ReleaseInfo struct {
 	ID          string  `json:"id"`
 	Dataset     string  `json:"dataset"`
+	Schema      string  `json:"schema"`
 	Algorithm   string  `json:"algorithm"`
 	Requirement string  `json:"requirement"`
 	Model       string  `json:"model"`

@@ -1,0 +1,77 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExampleSchemasEndToEnd proves every spec under examples/schemas/
+// through the full served pipeline: register over HTTP, synthesize a
+// dataset under it, anonymize, attack, and evaluate worst-case risk.
+// New example files are picked up automatically.
+func TestExampleSchemasEndToEnd(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "schemas")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		found++
+		t.Run(e.Name(), func(t *testing.T) {
+			doc, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, ts := newTestServer(t, 0)
+			reg := registerSchema(t, ts, string(doc))
+
+			code, body := post(t, ts, "/v1/datasets",
+				fmt.Sprintf(`{"n":250,"seed":5,"schema":%q}`, reg.ID))
+			if code != http.StatusOK {
+				t.Fatalf("synthesize: status %d: %s", code, body)
+			}
+			ds := mustJSON[DatasetResponse](t, body)
+			if ds.Records != 250 || ds.Schema != reg.ID {
+				t.Fatalf("dataset: %+v", ds)
+			}
+
+			code, body = post(t, ts, "/v1/anonymize", fmt.Sprintf(`{"dataset":%q}`, ds.ID))
+			if code != http.StatusOK {
+				t.Fatalf("anonymize: status %d: %s", code, body)
+			}
+			rel := mustJSON[AnonymizeResponse](t, body)
+			if rel.Groups < 1 {
+				t.Fatalf("implausible release: %+v", rel)
+			}
+
+			code, body = post(t, ts, "/v1/attack", fmt.Sprintf(`{"release":%q}`, rel.Release))
+			if code != http.StatusOK {
+				t.Fatalf("attack: status %d: %s", code, body)
+			}
+			att := mustJSON[AttackResponse](t, body)
+			if att.Records != 250 {
+				t.Fatalf("attack records = %d", att.Records)
+			}
+
+			code, body = post(t, ts, "/v1/risk", fmt.Sprintf(`{"release":%q}`, rel.Release))
+			if code != http.StatusOK {
+				t.Fatalf("risk: status %d: %s", code, body)
+			}
+			risk := mustJSON[RiskResponse](t, body)
+			if risk.WorstRisk < att.P50Risk {
+				t.Fatalf("worst risk %.6f below median %.6f", risk.WorstRisk, att.P50Risk)
+			}
+		})
+	}
+	if found < 2 {
+		t.Fatalf("only %d example specs under %s — expected the shipped set", found, dir)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/kernel"
 	"repro/internal/parallel"
+	"repro/internal/schema"
 )
 
 // Config sizes the server. Zero values take the stated defaults.
@@ -56,11 +57,13 @@ func (c Config) withDefaults() Config {
 }
 
 // datasetEntry is one resident dataset: the table plus its warm
-// engine (kernel estimator, prior cache, worker pool).
+// engine (kernel estimator, prior cache, worker pool) and the schema
+// it was ingested under.
 type datasetEntry struct {
-	id     string
-	table  *dataset.Table
-	engine *core.Engine
+	id       string
+	schemaID string
+	table    *dataset.Table
+	engine   *core.Engine
 }
 
 // releaseEntry is one resident release: the anonymization result plus
@@ -84,6 +87,7 @@ type Server struct {
 	mux     *http.ServeMux
 	metrics *Metrics
 
+	schemas  *schema.Registry
 	datasets *lruStore[*datasetEntry]
 	releases *lruStore[*releaseEntry]
 
@@ -94,28 +98,41 @@ type Server struct {
 	attacks parallel.Group[*AttackResponse]
 }
 
-// New builds a server with the given configuration.
+// New builds a server with the given configuration. The schema
+// registry starts with the built-in "adult" spec; more specs arrive
+// over POST /v1/schemas or are preloaded at boot via
+// Schemas().Register (cmd/serve -schema).
 func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg.withDefaults(),
 		mux:      http.NewServeMux(),
 		metrics:  newMetrics(),
+		schemas:  schema.NewRegistry(),
 		datasets: newLRUStore[*datasetEntry](cfg.withDefaults().DatasetCap),
 		releases: newLRUStore[*releaseEntry](cfg.withDefaults().ReleaseCap),
 	}
+	s.schemas.MustRegister(adult.Spec())
 	s.releases.onEvict = func(string) { s.metrics.StoreEvictions.Add(1) }
-	s.route("POST /v1/datasets", "/v1/datasets", http.MethodPost, s.handleDatasets)
-	s.route("POST /v1/anonymize", "/v1/anonymize", http.MethodPost, s.handleAnonymize)
-	s.route("POST /v1/attack", "/v1/attack", http.MethodPost, s.handleAttack)
-	s.route("POST /v1/risk", "/v1/risk", http.MethodPost, s.handleRisk)
-	s.route("GET /v1/releases", "/v1/releases/", http.MethodGet, s.handleRelease)
-	s.route("GET /healthz", "/healthz", http.MethodGet, s.handleHealthz)
-	s.route("GET /metrics", "/metrics", http.MethodGet, s.handleMetrics)
+	s.route("/v1/schemas", methods{
+		http.MethodPost: s.handleSchemaRegister,
+		http.MethodGet:  s.handleSchemaList,
+	})
+	s.route("/v1/datasets", methods{http.MethodPost: s.handleDatasets})
+	s.route("/v1/anonymize", methods{http.MethodPost: s.handleAnonymize})
+	s.route("/v1/attack", methods{http.MethodPost: s.handleAttack})
+	s.route("/v1/risk", methods{http.MethodPost: s.handleRisk})
+	s.route("/v1/releases/", methods{http.MethodGet: s.handleRelease})
+	s.route("/healthz", methods{http.MethodGet: s.handleHealthz})
+	s.route("/metrics", methods{http.MethodGet: s.handleMetrics})
 	return s
 }
 
 // Metrics exposes the server's counters (tests, loadgen reporting).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Schemas exposes the schema registry, for boot-time preloading
+// (cmd/serve -schema) and tests.
+func (s *Server) Schemas() *schema.Registry { return s.schemas }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
@@ -132,11 +149,17 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// route registers an instrumented handler: request/in-flight/error
-// counters plus a latency observation under the endpoint name.
-func (s *Server) route(name, pattern, method string, h http.HandlerFunc) {
+// methods maps HTTP methods to their handlers for one path.
+type methods map[string]http.HandlerFunc
+
+// route registers an instrumented path: request/in-flight/error
+// counters plus a latency observation under "<METHOD> <path>".
+// Unlisted methods get a 405 without touching the counters.
+func (s *Server) route(pattern string, hs methods) {
+	display := strings.TrimSuffix(pattern, "/")
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != method {
+		h, ok := hs[r.Method]
+		if !ok {
 			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method " + r.Method + " not allowed"})
 			return
 		}
@@ -146,7 +169,7 @@ func (s *Server) route(name, pattern, method string, h http.HandlerFunc) {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			s.metrics.InFlight.Add(-1)
-			s.metrics.observe(name, time.Since(start))
+			s.metrics.observe(r.Method+" "+display, time.Since(start))
 			if sw.status >= 400 {
 				s.metrics.Errors.Add(1)
 			}
@@ -184,22 +207,83 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
+// handleSchemaRegister parses, validates, and registers a declarative
+// spec. Validation failures are precise 400s (the registry's
+// registration-time coherence checks); a name already bound to
+// different content is a 409.
+func (s *Server) handleSchemaRegister(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, schema.MaxSpecBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading spec: %v", err)
+		return
+	}
+	spec, err := schema.Parse(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, existed, err := s.schemas.Register(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		var taken *schema.ErrNameTaken
+		if errors.As(err, &taken) {
+			code = http.StatusConflict
+		}
+		writeErr(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SchemaRegisterResponse{ID: id, Name: spec.Name, Existed: existed})
+}
+
+// handleSchemaList lists the registered specs, built-ins included.
+func (s *Server) handleSchemaList(w http.ResponseWriter, r *http.Request) {
+	entries := s.schemas.List()
+	resp := SchemaListResponse{Schemas: make([]SchemaInfo, len(entries))}
+	for i, e := range entries {
+		resp.Schemas[i] = SchemaInfo{
+			ID:        e.ID,
+			Name:      e.Spec.Name,
+			Doc:       e.Spec.Doc,
+			QI:        e.Spec.QINames(),
+			Sensitive: e.Spec.SensitiveName(),
+			Generator: e.Spec.Generator,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// resolveSchema maps a request's schema reference (id or name; empty
+// means the built-in Adult spec) to a registered spec.
+func (s *Server) resolveSchema(w http.ResponseWriter, ref string) (*schema.Spec, string, bool) {
+	if ref == "" {
+		ref = "adult"
+	}
+	spec, id, ok := s.schemas.Resolve(ref)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown schema %q (register it via POST /v1/schemas)", ref)
+		return nil, "", false
+	}
+	return spec, id, true
+}
+
 // buildDataset constructs a dataset entry: the engine build is the
 // per-dataset setup cost the whole service exists to amortize.
-func (s *Server) buildDataset(id string, table *dataset.Table) (*datasetEntry, error) {
+func (s *Server) buildDataset(id string, schemaID string, spec *schema.Spec, table *dataset.Table) (*datasetEntry, error) {
 	s.metrics.DatasetBuilds.Add(1)
-	eng, err := core.New(table, adult.Hierarchies(), nil, nil,
+	eng, err := core.New(table, spec.Hierarchies(), nil, nil,
 		core.WithWorkers(parallel.Resolve(s.cfg.Workers)))
 	if err != nil {
 		return nil, err
 	}
-	return &datasetEntry{id: id, table: table, engine: eng}, nil
+	return &datasetEntry{id: id, schemaID: schemaID, table: table, engine: eng}, nil
 }
 
-// handleDatasets ingests a dataset: JSON {n, seed} synthesizes an
-// Adult-like table; a text/csv body is decoded streaming under the
-// Adult schema. Both are content-addressed, so identical inputs return
-// the resident dataset.
+// handleDatasets ingests a dataset: JSON {n, seed, schema} synthesizes
+// a table under the named schema (default adult); a text/csv body is
+// decoded streaming under the ?schema= spec. Both are
+// content-addressed — schema id included — so identical inputs return
+// the resident dataset and equal content under different schemas stays
+// keyed apart.
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	if ct := r.Header.Get("Content-Type"); strings.Contains(ct, "csv") {
 		s.ingestCSV(w, r)
@@ -214,23 +298,68 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "n must be in [1, %d] (got %d)", s.cfg.MaxSyntheticN, req.N)
 		return
 	}
-	id := hashID("ds", "synthetic|n="+strconv.Itoa(req.N)+"|seed="+strconv.FormatInt(req.Seed, 10))
+	// The CSV path names its schema with ?schema=; accept the same
+	// spelling here rather than silently synthesizing under the
+	// default, but reject a contradictory pair.
+	ref := req.Schema
+	if q := r.URL.Query().Get("schema"); q != "" {
+		if ref != "" && ref != q {
+			writeErr(w, http.StatusBadRequest,
+				"schema named twice: %q in the body, %q in the query", ref, q)
+			return
+		}
+		ref = q
+	}
+	spec, schemaID, ok := s.resolveSchema(w, ref)
+	if !ok {
+		return
+	}
+	id := hashID("ds", "synthetic|schema="+schemaID+
+		"|n="+strconv.Itoa(req.N)+"|seed="+strconv.FormatInt(req.Seed, 10))
 	entry, src, err := s.datasets.do(id, func() (*datasetEntry, error) {
-		return s.buildDataset(id, adult.Generate(req.N, req.Seed))
+		table, err := schema.Synthesize(spec, req.N, req.Seed)
+		if err != nil {
+			// Wrap so every caller sharing this singleflight result —
+			// not just the leader — classifies it as client input.
+			return nil, synthesisError{err}
+		}
+		return s.buildDataset(id, schemaID, spec, table)
 	})
 	if err != nil {
+		// A synthesis failure is the spec's own model rejecting the
+		// draw (e.g. constraints zeroing a sensitive domain) — the
+		// client's input, not a server fault.
+		var se synthesisError
+		if errors.As(err, &se) {
+			writeErr(w, http.StatusBadRequest, "synthesizing dataset: %v", se.err)
+			return
+		}
 		writeErr(w, http.StatusInternalServerError, "building dataset: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, DatasetResponse{ID: id, Records: entry.table.N(), Cached: src != sourceMiss})
+	writeJSON(w, http.StatusOK, DatasetResponse{
+		ID: id, Schema: entry.schemaID, Records: entry.table.N(), Cached: src != sourceMiss})
 }
 
-// ingestCSV streams a CSV body into a table, content-hashing the bytes
-// as they pass so the dataset id is stable across identical uploads.
+// synthesisError marks a dataset-build failure as caused by the
+// schema's own synthesis model, so it maps to a 400 for every caller
+// that shares the error (singleflight followers included).
+type synthesisError struct{ err error }
+
+func (e synthesisError) Error() string { return e.err.Error() }
+func (e synthesisError) Unwrap() error { return e.err }
+
+// ingestCSV streams a CSV body into a table under the request's
+// schema, content-hashing the bytes as they pass so the dataset id is
+// stable across identical uploads (and distinct across schemas).
 func (s *Server) ingestCSV(w http.ResponseWriter, r *http.Request) {
+	spec, schemaID, ok := s.resolveSchema(w, r.URL.Query().Get("schema"))
+	if !ok {
+		return
+	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	h := sha256.New()
-	table, err := dataset.ReadCSV(io.TeeReader(body, h), adult.Specs())
+	table, err := dataset.ReadCSV(io.TeeReader(body, h), spec.ColumnSpecs())
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "decoding CSV: %v", err)
 		return
@@ -239,18 +368,25 @@ func (s *Server) ingestCSV(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "CSV contains no usable rows")
 		return
 	}
-	id := "ds_" + hex.EncodeToString(h.Sum(nil)[:8])
+	// Registration-time validation made the spec coherent; upload-time
+	// validation makes the data conform to it, with a precise error
+	// instead of an engine-build failure deep in the pipeline.
+	if err := spec.CheckTable(table); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id := hashID("ds", "csv|schema="+schemaID+"|sha256="+hex.EncodeToString(h.Sum(nil)))
 	entry, src, err := s.datasets.do(id, func() (*datasetEntry, error) {
-		return s.buildDataset(id, table)
+		return s.buildDataset(id, schemaID, spec, table)
 	})
 	if err != nil {
-		// Unlike the synthetic path (500), engine-build failures here
-		// are caused by the uploaded content — e.g. sensitive values
-		// outside the Adult hierarchy — so the client gets a 400.
+		// Engine-build failures here are caused by the uploaded
+		// content, so the client gets a 400.
 		writeErr(w, http.StatusBadRequest, "building dataset: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, DatasetResponse{ID: id, Records: entry.table.N(), Cached: src != sourceMiss})
+	writeJSON(w, http.StatusOK, DatasetResponse{
+		ID: id, Schema: entry.schemaID, Records: entry.table.N(), Cached: src != sourceMiss})
 }
 
 // handleAnonymize resolves (dataset, algo, model, params) through the
@@ -417,6 +553,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ReleaseInfo{
 		ID:          entry.id,
 		Dataset:     entry.ds.id,
+		Schema:      entry.ds.schemaID,
 		Algorithm:   entry.res.Algorithm,
 		Requirement: entry.res.Requirement,
 		Model:       entry.req.Model,
