@@ -1,14 +1,16 @@
 # CI entry points. `make ci` is what every change must keep green:
 # gofmt enforcement, vet, build, the full test suite under the race
-# detector (the parallel engine's safety net), one pass over every
-# benchmark so the bench targets cannot rot, and a short fuzz smoke
-# over the untrusted-input decoders (CSV rows, JSON schema specs).
+# detector (the parallel engine's and the job queue's safety net), one
+# pass over every benchmark so the bench targets cannot rot, a short
+# fuzz smoke over the untrusted-input decoders (CSV rows, JSON schema
+# specs), and the serve-restart smoke (boot, ingest, kill, reboot,
+# verify byte-identical disk recovery with zero pipeline runs).
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench fuzz cover serve loadgen
+.PHONY: ci fmt vet build test race bench fuzz cover serve loadgen restart-smoke
 
-ci: fmt vet build race bench fuzz
+ci: fmt vet build race bench fuzz restart-smoke
 
 # gofmt -l as a check: fails listing any file that needs formatting.
 fmt:
@@ -49,3 +51,8 @@ serve:
 
 loadgen:
 	$(GO) run ./cmd/loadgen
+
+# Black-box durability check: kill-and-restart cmd/serve on a data
+# dir and verify recovery (see scripts/restart_smoke.sh).
+restart-smoke:
+	GO="$(GO)" sh scripts/restart_smoke.sh

@@ -364,7 +364,10 @@ func BenchmarkBreachTestParallel(b *testing.B) { benchBreachPass(b, 0) }
 // of cmd/serve pays at steady state (cmd/loadgen reports the same path
 // under concurrency).
 func BenchmarkServeAttack(b *testing.B) {
-	srv := service.New(service.Config{Workers: 0})
+	srv, err := service.New(service.Config{Workers: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 

@@ -11,12 +11,18 @@
 //
 //	loadgen [-addr http://127.0.0.1:8080] [-concurrency C] [-duration D]
 //	        [-n N] [-seed S] [-mix anonymize:1,attack:4,risk:2] [-models distinct,bt]
-//	        [-schema spec.json]
+//	        [-schema spec.json] [-async]
 //
 // -schema registers the given declarative spec over POST /v1/schemas,
 // ingests a second dataset under it, and warms its releases alongside
 // the Adult ones, so the steady-state mix drives multi-schema traffic
 // and the server's cache ledger exercises schema-keyed addressing.
+//
+// -async switches the anonymize scenario to the job API: each request
+// submits with "async": true, takes the 202 + job handle, and polls
+// GET /v1/jobs/{id} until the job is done or failed — the sample's
+// latency is the full submit→done round trip, and the report's
+// anonymize row measures the queue, not just the store.
 package main
 
 import (
@@ -69,15 +75,58 @@ func (c *client) postJSON(path string, body string, out any) (int, error) {
 	if err != nil {
 		return resp.StatusCode, err
 	}
-	if out != nil && resp.StatusCode == http.StatusOK {
+	if resp.StatusCode/100 != 2 {
+		return resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	if out != nil {
 		if err := json.Unmarshal(b, out); err != nil {
 			return resp.StatusCode, err
 		}
 	}
-	if resp.StatusCode != http.StatusOK {
-		return resp.StatusCode, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(b))
-	}
 	return resp.StatusCode, nil
+}
+
+func (c *client) getJSON(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	return json.Unmarshal(b, out)
+}
+
+// anonymizeAsync drives one submit→poll→done round trip through the
+// job API. Deduped submissions share an already-active job, so under
+// concurrency many round trips collapse onto one queue slot.
+func (c *client) anonymizeAsync(body string) error {
+	asyncBody := strings.TrimSuffix(body, "}") + `,"async":true}`
+	var j service.JobResponse
+	if _, err := c.postJSON("/v1/anonymize", asyncBody, &j); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		switch j.State {
+		case "done":
+			return nil
+		case "failed":
+			return fmt.Errorf("job %s failed: %s", j.Job, j.Error)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s still %s after 2m", j.Job, j.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+		if err := c.getJSON("/v1/jobs/"+j.Job, &j); err != nil {
+			return err
+		}
+	}
 }
 
 func main() {
@@ -89,6 +138,7 @@ func main() {
 	mixSpec := flag.String("mix", "anonymize:1,attack:4,risk:2", "scenario mix as name:weight[,name:weight...]")
 	modelsSpec := flag.String("models", "distinct,bt", "models to warm and cycle (comma-separated)")
 	schemaPath := cli.Schema("JSON dataset spec to register and mix into the workload")
+	asyncMode := flag.Bool("async", false, "submit anonymize requests as async jobs and poll to completion")
 	flag.Parse()
 
 	mix, err := parseMix(*mixSpec)
@@ -181,7 +231,11 @@ func main() {
 				t0 := time.Now()
 				switch op {
 				case "anonymize":
-					_, err = c.postJSON("/v1/anonymize", rel.body, nil)
+					if *asyncMode {
+						err = c.anonymizeAsync(rel.body)
+					} else {
+						_, err = c.postJSON("/v1/anonymize", rel.body, nil)
+					}
 				case "attack", "risk":
 					bp := strconv.FormatFloat(bprimes[rng.Intn(len(bprimes))], 'g', -1, 64)
 					_, err = c.postJSON("/v1/"+op, fmt.Sprintf(`{"release":%q,"bprime":%s}`, rel.id, bp), nil)
@@ -303,6 +357,14 @@ func printServerMetrics(c *client) {
 		snap.Requests, snap.Errors, snap.PipelineRuns, snap.DatasetBuilds)
 	fmt.Printf("release store: %d hits, %d shared, %d misses, %d evictions, %d resident\n",
 		snap.Store.Hits, snap.Store.Shared, snap.Store.Misses, snap.Store.Evictions, snap.Store.Releases)
+	if snap.Jobs.Submitted+snap.Jobs.Deduped > 0 {
+		fmt.Printf("jobs: %d submitted, %d deduped, %d done, %d failed, %d pending\n",
+			snap.Jobs.Submitted, snap.Jobs.Deduped, snap.Jobs.Done, snap.Jobs.Failed, snap.Jobs.Pending)
+	}
+	if snap.Persist.Writes+snap.Persist.ReleaseLoads+snap.Persist.DatasetLoads+snap.Persist.Errors > 0 {
+		fmt.Printf("persist: %d writes, %d release loads, %d dataset loads, %d errors\n",
+			snap.Persist.Writes, snap.Persist.ReleaseLoads, snap.Persist.DatasetLoads, snap.Persist.Errors)
+	}
 	eps := make([]string, 0, len(snap.Endpoints))
 	for ep := range snap.Endpoints {
 		eps = append(eps, ep)

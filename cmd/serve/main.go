@@ -1,21 +1,31 @@
 // Command serve runs the anonymization/attack service: a long-running
 // HTTP/JSON API over internal/service that keeps datasets and their
 // engines warm, caches releases content-addressed with LRU eviction,
-// and deduplicates concurrent identical requests (singleflight).
+// deduplicates concurrent identical requests (singleflight), runs
+// async anonymize jobs on a bounded worker pool, and — with -data-dir
+// — writes every artifact through to a durable on-disk tier so a
+// restarted server serves previous work without recomputing it.
 //
 // Usage:
 //
 //	serve [-addr :8080] [-workers W] [-releases 128] [-datasets 8]
+//	      [-data-dir DIR] [-job-workers 2] [-job-queue 128]
 //	      [-schema spec.json[,spec2.json...]]
 //
-// Endpoints: POST/GET /v1/schemas; POST /v1/datasets, /v1/anonymize,
-// /v1/attack, /v1/risk; GET /v1/releases/{id}, /healthz, /metrics.
-// The schema registry boots with the built-in Adult spec; -schema
-// preloads additional declarative specs (see examples/schemas/) so
-// clients can synthesize and upload under them immediately. See
-// DESIGN.md ("Schema registry", "Service layer") for the endpoint
-// table and store semantics; cmd/loadgen drives a running instance
-// under load.
+// Endpoints: POST/GET /v1/schemas; POST /v1/datasets, /v1/anonymize
+// (sync, or "async": true → 202 + job), /v1/attack, /v1/risk; GET
+// /v1/releases/{id}, /v1/jobs/{id}, /healthz, /metrics. The schema
+// registry boots with the built-in Adult spec plus everything
+// persisted under -data-dir; -schema preloads additional declarative
+// specs (see examples/schemas/). See DESIGN.md ("Schema registry",
+// "Service layer") for the endpoint table, store semantics, the
+// persistence layout, and the job lifecycle; cmd/loadgen drives a
+// running instance under load (sync or -async).
+//
+// On SIGINT/SIGTERM the server stops listening, then drains: queued
+// async jobs finish (bounded by the shutdown timeout) before exit, so
+// a deploy never abandons accepted work — and with -data-dir whatever
+// did finish is already on disk.
 package main
 
 import (
@@ -39,23 +49,37 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	releases := flag.Int("releases", 128, "release store capacity (LRU entries)")
 	datasets := flag.Int("datasets", 8, "dataset store capacity (LRU entries)")
+	dataDir := flag.String("data-dir", "", "durable store directory (empty = memory only)")
+	jobWorkers := flag.Int("job-workers", 2, "async anonymize worker pool size")
+	jobQueue := flag.Int("job-queue", 128, "async anonymize queue depth")
 	schemas := cli.Schema("comma-separated JSON dataset specs to preload at boot")
 	workers := cli.Workers()
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "serve: ", log.LstdFlags)
-	srv := service.New(service.Config{
-		Workers:    *workers,
-		ReleaseCap: *releases,
-		DatasetCap: *datasets,
+	srv, err := service.New(service.Config{
+		Workers:       *workers,
+		ReleaseCap:    *releases,
+		DatasetCap:    *datasets,
+		DataDir:       *dataDir,
+		JobWorkers:    *jobWorkers,
+		JobQueueDepth: *jobQueue,
 	})
+	if err != nil {
+		cli.Fatal("serve", err)
+	}
+	if *dataDir != "" {
+		ns, nd, nr := srv.PersistedArtifacts()
+		logger.Printf("durable store %s: %d schemas, %d datasets, %d releases recoverable",
+			*dataDir, ns, nd, nr)
+	}
 	if *schemas != "" {
 		for _, path := range strings.Split(*schemas, ",") {
 			spec, err := schema.Load(strings.TrimSpace(path))
 			if err != nil {
 				cli.Fatal("serve", err)
 			}
-			id, existed, err := srv.Schemas().Register(spec)
+			id, existed, err := srv.RegisterSchema(spec)
 			if err != nil {
 				cli.Fatal("serve", err)
 			}
@@ -73,8 +97,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	logger.Printf("listening on %s (workers=%d, releases=%d, datasets=%d)",
-		*addr, *workers, *releases, *datasets)
+	logger.Printf("listening on %s (workers=%d, releases=%d, datasets=%d, job-workers=%d)",
+		*addr, *workers, *releases, *datasets, *jobWorkers)
 
 	select {
 	case err := <-errc:
@@ -87,4 +111,9 @@ func main() {
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		cli.Fatal("serve", err)
 	}
+	// The listener is closed; finish the async jobs already accepted.
+	if err := srv.Drain(shutdownCtx); err != nil {
+		logger.Printf("job drain incomplete: %v", err)
+	}
+	logger.Print("drained")
 }

@@ -39,9 +39,14 @@
 // pipeline as a long-running HTTP/JSON API: schemas register over
 // POST /v1/schemas, datasets keep their engine warm across requests,
 // releases live in a content-addressed store with LRU eviction and
-// singleflight dedup of concurrent identical requests, and
-// cmd/loadgen measures the resulting throughput with a closed-loop
-// mixed-scenario (and multi-schema) load generator.
+// singleflight dedup of concurrent identical requests, slow
+// anonymizations run as async jobs on a bounded worker pool (202 +
+// GET /v1/jobs/{id}), and cmd/loadgen measures the resulting
+// throughput with a closed-loop mixed-scenario (and multi-schema)
+// load generator. With -data-dir the stores gain a write-through
+// durable tier: a restarted server recovers schemas, datasets, and
+// releases from content-addressed files byte-identically, without
+// rerunning the pipeline.
 //
 // Start with examples/quickstart or README.md, or see DESIGN.md for
 // the system inventory, the concurrency model, the schema registry,

@@ -121,3 +121,28 @@ func (r *Registry) Len() int {
 	defer r.mu.RUnlock()
 	return len(r.byID)
 }
+
+// Export returns the canonical JSON document of the spec registered
+// under ref (id or name) — the serializable form a persistence layer
+// writes at registration time and replays through Import at boot.
+// Importing the exported bytes into any registry yields the same
+// content-addressed id.
+func (r *Registry) Export(ref string) ([]byte, bool) {
+	s, _, ok := r.Resolve(ref)
+	if !ok {
+		return nil, false
+	}
+	return s.canonicalJSON(), true
+}
+
+// Import parses and registers a previously Exported document. It is
+// Parse followed by Register: the document is re-validated, so a
+// corrupted or hand-edited file fails cleanly instead of installing an
+// incoherent spec.
+func (r *Registry) Import(doc []byte) (id string, existed bool, err error) {
+	s, err := Parse(doc)
+	if err != nil {
+		return "", false, err
+	}
+	return r.Register(s)
+}

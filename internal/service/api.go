@@ -12,11 +12,19 @@
 //	GET  /v1/schemas         list registered schemas
 //	POST /v1/datasets        ingest CSV (text/csv, ?schema=ref) or synthesize by (n, seed, schema)
 //	POST /v1/anonymize       anonymize a dataset, returning a release handle
+//	                         ("async": true → 202 + job handle instead)
 //	POST /v1/attack          background-knowledge attack against a release
 //	POST /v1/risk            worst-case disclosure risk of a release
 //	GET  /v1/releases/{id}   release metadata
+//	GET  /v1/jobs/{id}       async anonymize job status
 //	GET  /healthz            liveness
 //	GET  /metrics            counters and latency quantiles (JSON)
+//
+// With a data directory configured (cmd/serve -data-dir), the server
+// is durable: schemas, dataset manifests, and releases write through
+// to a content-addressed on-disk tier, lookups fall through
+// memory→disk→404, and a restarted server serves previously computed
+// releases byte-identically without rerunning the pipeline.
 //
 // Schemas make the service multi-scenario: every dataset is decoded,
 // synthesized, and engined under a registered spec (the built-in
@@ -94,6 +102,11 @@ type AnonymizeRequest struct {
 	L     int     `json:"l"` // default 3
 	T     float64 `json:"t"` // default 0.25
 	B     float64 `json:"b"` // default 0.3
+	// Async submits the request as a background job: the response is a
+	// 202 with a job handle instead of blocking until the pipeline
+	// finishes. Async does not participate in the release key — a sync
+	// and an async request for the same release share one computation.
+	Async bool `json:"async,omitempty"`
 }
 
 // normalize applies defaults in place.
@@ -174,9 +187,12 @@ type AnonymizeResponse struct {
 }
 
 // AttackRequest simulates adversary Adv(b') against a stored release.
+// BPrime is a pointer so that an explicitly supplied 0 — outside the
+// valid (0, 1] range — is distinguishable from an omitted field and is
+// rejected rather than silently replaced by the default.
 type AttackRequest struct {
-	Release string  `json:"release"`
-	BPrime  float64 `json:"bprime"` // default 0.3
+	Release string   `json:"release"`
+	BPrime  *float64 `json:"bprime"` // default 0.3 when omitted
 }
 
 // AttackResponse reports the attack outcome: breach count under the
@@ -216,6 +232,23 @@ type ReleaseInfo struct {
 	Records     int     `json:"records"`
 	AvgGroup    float64 `json:"avg_group"`
 	Seconds     float64 `json:"seconds"`
+}
+
+// JobResponse describes an async anonymize job: the 202 body at
+// submission and the GET /v1/jobs/{id} payload while polling. Release
+// is the content-addressed handle the job will (or did) produce —
+// known at submission time, resolvable via GET /v1/releases/{id} once
+// State is "done". Deduped reports that the submission collapsed into
+// an already queued or running identical job.
+type JobResponse struct {
+	Job           string  `json:"job"`
+	State         string  `json:"state"` // queued | running | done | failed
+	Release       string  `json:"release"`
+	Dataset       string  `json:"dataset"`
+	Deduped       bool    `json:"deduped,omitempty"`
+	Error         string  `json:"error,omitempty"`
+	QueuedSeconds float64 `json:"queued_seconds,omitempty"`
+	RunSeconds    float64 `json:"run_seconds,omitempty"`
 }
 
 // errorResponse is every non-2xx body.

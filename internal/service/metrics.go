@@ -2,6 +2,7 @@ package service
 
 import (
 	"expvar"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -32,7 +33,11 @@ func (r *latencyRing) observe(d time.Duration) {
 }
 
 // quantiles returns the requested quantiles (each in [0,1]) over the
-// current window, in milliseconds.
+// current window, in milliseconds. The estimator is ceil nearest-rank:
+// the q-quantile is the smallest sample with at least a q fraction of
+// the window at or below it. (The truncating form int(q*(n-1)) it
+// replaces reported ~p98.9 as "p99" over a full window and biased
+// every quantile low on small ones.)
 func (r *latencyRing) quantiles(qs ...float64) []float64 {
 	n := r.next
 	if r.filled {
@@ -46,7 +51,13 @@ func (r *latencyRing) quantiles(qs ...float64) []float64 {
 	copy(buf, r.samples[:n])
 	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
 	for i, q := range qs {
-		idx := int(q * float64(n-1))
+		idx := int(math.Ceil(q*float64(n))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= n {
+			idx = n - 1
+		}
 		out[i] = float64(buf[idx]) / float64(time.Millisecond)
 	}
 	return out
@@ -72,6 +83,17 @@ type Metrics struct {
 	StoreMisses    expvar.Int // requests that ran the computation
 	StoreEvictions expvar.Int // LRU evictions
 
+	JobsSubmitted expvar.Int // async jobs enqueued
+	JobsDeduped   expvar.Int // submissions collapsed into an active job
+	JobsRunning   expvar.Int // jobs currently executing (gauge)
+	JobsDone      expvar.Int // jobs completed successfully
+	JobsFailed    expvar.Int // jobs that ended in failure
+
+	PersistWrites       expvar.Int // files written through to the durable tier
+	PersistErrors       expvar.Int // durable-tier read/write/integrity failures
+	PersistReleaseLoads expvar.Int // releases recovered from disk
+	PersistDatasetLoads expvar.Int // datasets rebuilt from persisted manifests
+
 	mu  sync.Mutex
 	lat map[string]*latencyRing
 }
@@ -92,10 +114,13 @@ func (m *Metrics) observe(endpoint string, d time.Duration) {
 	r.observe(d)
 }
 
-// countStore folds a store access into the cache counters.
+// countStore folds a store access into the cache counters. A disk
+// recovery counts as a hit — the work was not redone — with the
+// durable tier's own ledger (PersistReleaseLoads) recording where the
+// value came from.
 func (m *Metrics) countStore(src source) {
 	switch src {
-	case sourceHit:
+	case sourceHit, sourceDisk:
 		m.StoreHits.Add(1)
 	case sourceShared:
 		m.StoreShared.Add(1)
@@ -121,6 +146,24 @@ type StoreStats struct {
 	Datasets  int   `json:"datasets"`
 }
 
+// JobStats is the async-job section of a snapshot.
+type JobStats struct {
+	Submitted int64 `json:"submitted"`
+	Deduped   int64 `json:"deduped"`
+	Pending   int   `json:"pending"`
+	Running   int64 `json:"running"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
+}
+
+// PersistStats is the durable-tier section of a snapshot.
+type PersistStats struct {
+	Writes       int64 `json:"writes"`
+	Errors       int64 `json:"errors"`
+	ReleaseLoads int64 `json:"release_loads"`
+	DatasetLoads int64 `json:"dataset_loads"`
+}
+
 // Snapshot is the GET /metrics payload.
 type Snapshot struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
@@ -130,11 +173,13 @@ type Snapshot struct {
 	PipelineRuns  int64                    `json:"pipeline_runs"`
 	DatasetBuilds int64                    `json:"dataset_builds"`
 	Store         StoreStats               `json:"store"`
+	Jobs          JobStats                 `json:"jobs"`
+	Persist       PersistStats             `json:"persist"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 }
 
 // snapshot assembles the current counter and latency state.
-func (m *Metrics) snapshot(releases, datasets int) Snapshot {
+func (m *Metrics) snapshot(releases, datasets, pendingJobs int) Snapshot {
 	s := Snapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests:      m.Requests.Value(),
@@ -149,6 +194,20 @@ func (m *Metrics) snapshot(releases, datasets int) Snapshot {
 			Evictions: m.StoreEvictions.Value(),
 			Releases:  releases,
 			Datasets:  datasets,
+		},
+		Jobs: JobStats{
+			Submitted: m.JobsSubmitted.Value(),
+			Deduped:   m.JobsDeduped.Value(),
+			Pending:   pendingJobs,
+			Running:   m.JobsRunning.Value(),
+			Done:      m.JobsDone.Value(),
+			Failed:    m.JobsFailed.Value(),
+		},
+		Persist: PersistStats{
+			Writes:       m.PersistWrites.Value(),
+			Errors:       m.PersistErrors.Value(),
+			ReleaseLoads: m.PersistReleaseLoads.Value(),
+			DatasetLoads: m.PersistDatasetLoads.Value(),
 		},
 		Endpoints: map[string]EndpointStats{},
 	}

@@ -1,0 +1,65 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyRingQuantiles pins the ceil nearest-rank estimator: the
+// q-quantile is the smallest sample with at least a q fraction of the
+// window at or below it. The old truncating form int(q*(n-1)) made
+// "p99" over a full 1024-sample window really ~p98.9 (rank 1013 of
+// 1024) and biased every quantile low on small windows.
+func TestLatencyRingQuantiles(t *testing.T) {
+	fill := func(n int) *latencyRing {
+		r := &latencyRing{}
+		// Descending insert order: quantiles must sort, not trust
+		// arrival order.
+		for i := n; i >= 1; i-- {
+			r.observe(time.Duration(i) * time.Millisecond)
+		}
+		return r
+	}
+	for _, tc := range []struct {
+		name string
+		n    int
+		qs   []float64
+		want []float64 // milliseconds
+	}{
+		{"full window", latWindow, []float64{0.50, 0.99, 1.0}, []float64{512, 1014, 1024}},
+		{"hundred", 100, []float64{0, 0.50, 0.90, 0.99, 1.0}, []float64{1, 50, 90, 99, 100}},
+		// n=4: p99 must report the max (rank ceil(3.96)=4), where the
+		// truncating form reported sample 3 of 4.
+		{"small window", 4, []float64{0.50, 0.99}, []float64{2, 4}},
+		{"single sample", 1, []float64{0.50, 0.99}, []float64{1, 1}},
+	} {
+		r := fill(tc.n)
+		got := r.quantiles(tc.qs...)
+		for i, q := range tc.qs {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: q=%g → %g ms, want %g", tc.name, q, got[i], tc.want[i])
+			}
+		}
+	}
+
+	// An empty ring reports zeros rather than panicking.
+	empty := &latencyRing{}
+	for _, v := range empty.quantiles(0.5, 0.99) {
+		if v != 0 {
+			t.Errorf("empty ring quantile = %g, want 0", v)
+		}
+	}
+
+	// The window slides: after latWindow+k observations, only the most
+	// recent latWindow samples are visible.
+	r := &latencyRing{}
+	for i := 1; i <= latWindow+100; i++ {
+		r.observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := r.quantiles(1.0)[0]; got != float64(latWindow+100) {
+		t.Errorf("max after slide = %g, want %d", got, latWindow+100)
+	}
+	if got := r.quantiles(0)[0]; got != 101 {
+		t.Errorf("min after slide = %g, want 101 (oldest samples evicted)", got)
+	}
+}

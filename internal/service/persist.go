@@ -1,0 +1,488 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/anonymize"
+	"repro/internal/dataset"
+	"repro/internal/schema"
+)
+
+// diskStore is the durable tier under the in-memory LRU stores: a
+// write-through, content-addressed file layout keyed by the same
+// rel_…/ds_…/sch_… ids the memory stores use. Because every artifact
+// is content-addressed and the pipeline is deterministic, the disk
+// copy is exact — a release loaded back hashes to the id it was
+// stored under (verified on every load), so LRU eviction and process
+// restarts no longer lose work.
+//
+// Layout under the root:
+//
+//	schemas/sch_<hash>.json    canonical spec JSON (replayed at boot)
+//	datasets/ds_<hash>.json    manifest: how to rebuild the table
+//	datasets/ds_<hash>.csv     raw upload bytes (csv-sourced datasets)
+//	releases/rel_<hash>.json   request + group partition + summary
+//
+// Writes are atomic (temp file + rename) so a crash mid-write leaves
+// either the old file or none, never a torn one. Loads that fail
+// integrity checks are treated as absent: the caller degrades to
+// recomputation, never to a 500.
+type diskStore struct {
+	root string
+}
+
+// newDiskStore opens (creating if needed) the on-disk tier at root,
+// sweeping temp files orphaned by a crash mid-write.
+func newDiskStore(root string) (*diskStore, error) {
+	for _, sub := range []string{"schemas", "datasets", "releases"} {
+		dir := filepath.Join(root, sub)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: creating data dir: %w", err)
+		}
+		if orphans, err := filepath.Glob(filepath.Join(dir, ".tmp-*")); err == nil {
+			for _, p := range orphans {
+				os.Remove(p)
+			}
+		}
+	}
+	return &diskStore{root: root}, nil
+}
+
+// errNotPersisted reports that an id has no (usable) file on disk —
+// either it was never written, or it failed an integrity check and is
+// being treated as absent.
+var errNotPersisted = errors.New("service: not in the persistent store")
+
+// validID reports whether id is a well-formed content address for the
+// given prefix: prefix, underscore, lowercase hex. Ids arrive in URLs
+// and become file names, so anything else (path separators, dots,
+// traversal) is rejected before it reaches the filesystem.
+func validID(prefix, id string) bool {
+	rest, ok := strings.CutPrefix(id, prefix+"_")
+	if !ok || rest == "" {
+		return false
+	}
+	for _, c := range rest {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// writeFile atomically writes data to path via a temp file + fsync +
+// rename: the sync orders the data blocks before the rename, so even
+// a power loss leaves the old file or the complete new one — the
+// content-address check on load catches anything the filesystem still
+// manages to tear.
+func (d *diskStore) writeFile(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// ---- schemas ----
+
+// saveSchema persists a registered spec's canonical JSON under its id.
+func (d *diskStore) saveSchema(id string, doc []byte) error {
+	if !validID("sch", id) {
+		return fmt.Errorf("service: refusing to persist malformed schema id %q", id)
+	}
+	return d.writeFile(filepath.Join(d.root, "schemas", id+".json"), doc)
+}
+
+// loadSchemas returns every persisted spec document, for boot-time
+// replay through schema.Registry.Import.
+func (d *diskStore) loadSchemas() (map[string][]byte, error) {
+	entries, err := os.ReadDir(filepath.Join(d.root, "schemas"))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]byte{}
+	for _, e := range entries {
+		id, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok || !validID("sch", id) {
+			continue
+		}
+		doc, err := os.ReadFile(filepath.Join(d.root, "schemas", e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		out[id] = doc
+	}
+	return out, nil
+}
+
+// ---- datasets ----
+
+// datasetRecord is the manifest that makes a dataset rebuildable: the
+// schema it was ingested under plus either the synthesis parameters or
+// a pointer to the saved CSV bytes. The record never stores the
+// decoded table — rebuilding from the same inputs is deterministic and
+// byte-identical, which the load path verifies by re-deriving the id.
+type datasetRecord struct {
+	ID     string `json:"id"`
+	Schema string `json:"schema"`
+	Source string `json:"source"` // "synthetic" | "csv"
+	N      int    `json:"n,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+}
+
+// expectedID re-derives the content address the manifest should live
+// under. csvBody is required for csv-sourced records.
+func (r *datasetRecord) expectedID(csvBody []byte) string {
+	switch r.Source {
+	case "synthetic":
+		return hashID("ds", "synthetic|schema="+r.Schema+
+			"|n="+strconv.Itoa(r.N)+"|seed="+strconv.FormatInt(r.Seed, 10))
+	case "csv":
+		sum := sha256.Sum256(csvBody)
+		return hashID("ds", "csv|schema="+r.Schema+"|sha256="+hex.EncodeToString(sum[:]))
+	default:
+		return ""
+	}
+}
+
+// saveDataset persists a dataset manifest (plus the raw CSV bytes for
+// uploaded datasets).
+func (d *diskStore) saveDataset(rec datasetRecord, csvBody []byte) error {
+	if !validID("ds", rec.ID) {
+		return fmt.Errorf("service: refusing to persist malformed dataset id %q", rec.ID)
+	}
+	if rec.Source == "csv" {
+		if err := d.writeFile(filepath.Join(d.root, "datasets", rec.ID+".csv"), csvBody); err != nil {
+			return err
+		}
+	}
+	doc, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return d.writeFile(filepath.Join(d.root, "datasets", rec.ID+".json"), doc)
+}
+
+// loadDataset reads a dataset manifest (and the saved CSV bytes for
+// uploaded datasets), verifying the content address end to end: a
+// manifest whose fields no longer hash to its own id — renamed,
+// edited, or truncated — is reported as absent, not served.
+func (d *diskStore) loadDataset(id string) (datasetRecord, []byte, error) {
+	var rec datasetRecord
+	if !validID("ds", id) {
+		return rec, nil, errNotPersisted
+	}
+	doc, err := os.ReadFile(filepath.Join(d.root, "datasets", id+".json"))
+	if err != nil {
+		return rec, nil, errNotPersisted
+	}
+	if err := json.Unmarshal(doc, &rec); err != nil {
+		return rec, nil, fmt.Errorf("service: corrupt dataset manifest %s: %w", id, err)
+	}
+	var csvBody []byte
+	if rec.Source == "csv" {
+		csvBody, err = os.ReadFile(filepath.Join(d.root, "datasets", id+".csv"))
+		if err != nil {
+			return rec, nil, fmt.Errorf("service: dataset %s lost its CSV body: %w", id, err)
+		}
+	}
+	if rec.ID != id || rec.expectedID(csvBody) != id {
+		return rec, nil, fmt.Errorf("service: dataset file %s fails its content-address check", id)
+	}
+	return rec, csvBody, nil
+}
+
+// ---- releases ----
+
+// groupRecord is one equivalence class in serialized form: the record
+// indexes and the QI extent, verbatim. Row order matters — attacks
+// iterate groups and rows in stored order, and byte-identical recovery
+// depends on preserving it exactly.
+type groupRecord struct {
+	Rows []int `json:"rows"`
+	Lo   []int `json:"lo"`
+	Hi   []int `json:"hi"`
+}
+
+// releaseRecord is a release in serialized form: the normalized
+// request (whose canonical key re-derives the release id — the
+// integrity check), the owning dataset, and the full group partition.
+type releaseRecord struct {
+	ID          string           `json:"id"`
+	Dataset     string           `json:"dataset"`
+	Schema      string           `json:"schema"`
+	Request     AnonymizeRequest `json:"request"`
+	Algorithm   string           `json:"algorithm"`
+	Requirement string           `json:"requirement"`
+	Groups      []groupRecord    `json:"groups"`
+	Records     int              `json:"records"`
+	Seconds     float64          `json:"seconds"`
+}
+
+// saveRelease persists a computed release.
+func (d *diskStore) saveRelease(rec releaseRecord) error {
+	if !validID("rel", rec.ID) {
+		return fmt.Errorf("service: refusing to persist malformed release id %q", rec.ID)
+	}
+	doc, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return d.writeFile(filepath.Join(d.root, "releases", rec.ID+".json"), doc)
+}
+
+// loadRelease reads a persisted release, verifying that the stored
+// request still hashes to the id the file claims — the end-to-end
+// "loaded release hashes to the id it was stored under" guarantee.
+func (d *diskStore) loadRelease(id string) (releaseRecord, error) {
+	var rec releaseRecord
+	if !validID("rel", id) {
+		return rec, errNotPersisted
+	}
+	doc, err := os.ReadFile(filepath.Join(d.root, "releases", id+".json"))
+	if err != nil {
+		return rec, errNotPersisted
+	}
+	if err := json.Unmarshal(doc, &rec); err != nil {
+		return rec, fmt.Errorf("service: corrupt release file %s: %w", id, err)
+	}
+	if rec.ID != id || hashID("rel", rec.Request.key()) != id {
+		return rec, fmt.Errorf("service: release file %s fails its content-address check", id)
+	}
+	return rec, nil
+}
+
+// ---- server-side recovery and write-through ----
+
+// persistDataset writes a dataset manifest through to disk (no-op
+// without a durable tier). Failures are counted, not fatal: the
+// in-memory entry is already live; only durability degrades.
+func (s *Server) persistDataset(rec datasetRecord, csvBody []byte) {
+	if s.disk == nil {
+		return
+	}
+	if err := s.disk.saveDataset(rec, csvBody); err != nil {
+		s.metrics.PersistErrors.Add(1)
+		return
+	}
+	s.metrics.PersistWrites.Add(1)
+}
+
+// persistRelease writes a computed release through to disk.
+func (s *Server) persistRelease(e *releaseEntry) {
+	if s.disk == nil {
+		return
+	}
+	rec := releaseRecord{
+		ID:          e.id,
+		Dataset:     e.ds.id,
+		Schema:      e.ds.schemaID,
+		Request:     e.req,
+		Algorithm:   e.res.Algorithm,
+		Requirement: e.res.Requirement,
+		Groups:      make([]groupRecord, len(e.res.Groups)),
+		Records:     e.ds.table.N(),
+		Seconds:     e.seconds,
+	}
+	for i, g := range e.res.Groups {
+		rec.Groups[i] = groupRecord{Rows: g.Rows, Lo: g.Extent.Lo, Hi: g.Extent.Hi}
+	}
+	if err := s.disk.saveRelease(rec); err != nil {
+		s.metrics.PersistErrors.Add(1)
+		return
+	}
+	s.metrics.PersistWrites.Add(1)
+}
+
+// getDataset resolves a dataset id through memory then disk. A
+// disk-recovered dataset is rebuilt from its manifest — re-synthesized
+// from (schema, n, seed) or re-decoded from the saved CSV bytes, both
+// deterministic — and admitted to the LRU; concurrent recoveries of
+// the same id collapse into one rebuild.
+func (s *Server) getDataset(id string) (*datasetEntry, bool) {
+	if e, ok := s.datasets.get(id); ok {
+		return e, true
+	}
+	if s.disk == nil {
+		return nil, false
+	}
+	e, _, err := s.dsRecover.Do(id, func() (*datasetEntry, error) {
+		if e, ok := s.datasets.get(id); ok {
+			return e, nil
+		}
+		e, err := s.recoverDataset(id)
+		if err != nil {
+			return nil, err
+		}
+		s.datasets.put(id, e)
+		return e, nil
+	})
+	if err != nil {
+		return nil, false
+	}
+	return e, true
+}
+
+// recoverDataset rebuilds a dataset entry from its persisted manifest.
+func (s *Server) recoverDataset(id string) (*datasetEntry, error) {
+	rec, csvBody, err := s.disk.loadDataset(id)
+	if err != nil {
+		if !errors.Is(err, errNotPersisted) {
+			s.metrics.PersistErrors.Add(1)
+		}
+		return nil, err
+	}
+	spec, schemaID, ok := s.schemas.Resolve(rec.Schema)
+	if !ok || schemaID != rec.Schema {
+		s.metrics.PersistErrors.Add(1)
+		return nil, fmt.Errorf("service: dataset %s references unknown schema %s", id, rec.Schema)
+	}
+	var table *dataset.Table
+	switch rec.Source {
+	case "synthetic":
+		table, err = schema.Synthesize(spec, rec.N, rec.Seed)
+	case "csv":
+		table, err = dataset.ReadCSV(bytes.NewReader(csvBody), spec.ColumnSpecs())
+	default:
+		err = fmt.Errorf("service: dataset %s has unknown source %q", id, rec.Source)
+	}
+	if err != nil {
+		s.metrics.PersistErrors.Add(1)
+		return nil, err
+	}
+	e, err := s.buildDataset(id, schemaID, spec, table)
+	if err != nil {
+		s.metrics.PersistErrors.Add(1)
+		return nil, err
+	}
+	s.metrics.PersistDatasetLoads.Add(1)
+	return e, nil
+}
+
+// resolveRelease resolves a release id through memory then disk —
+// the GET /v1/releases and attack/risk lookup path. Concurrent
+// recoveries collapse; a recovered entry is admitted to the LRU so
+// later lookups are memory hits.
+func (s *Server) resolveRelease(id string) (*releaseEntry, bool) {
+	if e, ok := s.releases.get(id); ok {
+		return e, true
+	}
+	if s.disk == nil {
+		return nil, false
+	}
+	e, _, err := s.relRecover.Do(id, func() (*releaseEntry, error) {
+		if e, ok := s.releases.get(id); ok {
+			return e, nil
+		}
+		e, ok := s.recoverRelease(id, nil)
+		if !ok {
+			return nil, errNotPersisted
+		}
+		s.releases.put(id, e)
+		return e, nil
+	})
+	if err != nil {
+		return nil, false
+	}
+	return e, true
+}
+
+// recoverRelease rebuilds a release entry from its persisted record:
+// the dataset resolves through memory→disk (rebuilding the engine if
+// needed — a dataset build, never a pipeline run), the group partition
+// is reconstituted verbatim, and the result is re-validated against
+// the table. Any integrity failure reports the release as absent so
+// callers degrade to recomputation or 404, never a 500. ds, when
+// non-nil, is the already-resolved owning dataset.
+func (s *Server) recoverRelease(id string, ds *datasetEntry) (*releaseEntry, bool) {
+	if s.disk == nil {
+		return nil, false
+	}
+	rec, err := s.disk.loadRelease(id)
+	if err != nil {
+		if !errors.Is(err, errNotPersisted) {
+			s.metrics.PersistErrors.Add(1)
+		}
+		return nil, false
+	}
+	if ds == nil || ds.id != rec.Dataset {
+		var ok bool
+		ds, ok = s.getDataset(rec.Dataset)
+		if !ok {
+			s.metrics.PersistErrors.Add(1)
+			return nil, false
+		}
+	}
+	d := ds.table.Schema.D()
+	res := &anonymize.Result{
+		Table:       ds.table,
+		Groups:      make([]*anonymize.Group, len(rec.Groups)),
+		Algorithm:   rec.Algorithm,
+		Requirement: rec.Requirement,
+	}
+	for i, g := range rec.Groups {
+		if len(g.Lo) != d || len(g.Hi) != d {
+			s.metrics.PersistErrors.Add(1)
+			return nil, false
+		}
+		res.Groups[i] = &anonymize.Group{
+			Rows:   g.Rows,
+			Extent: anonymize.Extent{Lo: g.Lo, Hi: g.Hi},
+		}
+	}
+	if len(res.Groups) == 0 || res.Validate() != nil {
+		s.metrics.PersistErrors.Add(1)
+		return nil, false
+	}
+	s.metrics.PersistReleaseLoads.Add(1)
+	return &releaseEntry{
+		id:          id,
+		ds:          ds,
+		res:         res,
+		req:         rec.Request,
+		breachModel: breachModelFor(rec.Request.Model),
+		seconds:     rec.Seconds,
+	}, true
+}
+
+// counts reports how many artifacts of each kind are persisted, for
+// boot logging.
+func (d *diskStore) counts() (schemas, datasets, releases int) {
+	count := func(sub, prefix string) int {
+		entries, err := os.ReadDir(filepath.Join(d.root, sub))
+		if err != nil {
+			return 0
+		}
+		n := 0
+		for _, e := range entries {
+			if id, ok := strings.CutSuffix(e.Name(), ".json"); ok && validID(prefix, id) {
+				n++
+			}
+		}
+		return n
+	}
+	return count("schemas", "sch"), count("datasets", "ds"), count("releases", "rel")
+}

@@ -1,0 +1,291 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/adult"
+	"repro/internal/dataset"
+)
+
+// diskServer boots a server persisting to dir.
+func diskServer(t *testing.T, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	return newTestServerCfg(t, Config{Workers: -1, DataDir: dir})
+}
+
+// TestRestartRecoveryByteIdentical is the durability guarantee end to
+// end: releases computed before a restart are served by a fresh
+// process on the same data dir with byte-identical responses and zero
+// pipeline runs — the release loads from disk and its dataset rebuilds
+// deterministically (a dataset build, never a pipeline run).
+func TestRestartRecoveryByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	attackBody := func(rel string) string {
+		return fmt.Sprintf(`{"release":%q,"bprime":0.4}`, rel)
+	}
+
+	s1, ts1 := diskServer(t, dir)
+	ds := createDataset(t, ts1, 300, 1)
+	anonBody := fmt.Sprintf(`{"dataset":%q,"model":"distinct","k":3,"l":3}`, ds)
+	code, body := post(t, ts1, "/v1/anonymize", anonBody)
+	if code != http.StatusOK {
+		t.Fatalf("anonymize: status %d: %s", code, body)
+	}
+	rel := mustJSON[AnonymizeResponse](t, body).Release
+	// The cached (second-call) anonymize body is what a warm restart
+	// must reproduce: same release, cached=true, same stored seconds.
+	_, cachedAnon := post(t, ts1, "/v1/anonymize", anonBody)
+	_, relInfo := get(t, ts1, "/v1/releases/"+rel)
+	_, attack := post(t, ts1, "/v1/attack", attackBody(rel))
+	if s1.Metrics().PersistWrites.Value() < 2 {
+		t.Fatalf("persist writes = %d, want dataset manifest + release",
+			s1.Metrics().PersistWrites.Value())
+	}
+	ts1.Close()
+
+	s2, ts2 := diskServer(t, dir)
+	code, gotInfo := get(t, ts2, "/v1/releases/"+rel)
+	if code != http.StatusOK {
+		t.Fatalf("release after restart: status %d: %s", code, gotInfo)
+	}
+	if !bytes.Equal(gotInfo, relInfo) {
+		t.Errorf("release info differs after restart:\npre:  %s\npost: %s", relInfo, gotInfo)
+	}
+	code, gotAttack := post(t, ts2, "/v1/attack", attackBody(rel))
+	if code != http.StatusOK {
+		t.Fatalf("attack after restart: status %d: %s", code, gotAttack)
+	}
+	if !bytes.Equal(gotAttack, attack) {
+		t.Errorf("attack differs after restart:\npre:  %s\npost: %s", attack, gotAttack)
+	}
+	code, gotAnon := post(t, ts2, "/v1/anonymize", anonBody)
+	if code != http.StatusOK {
+		t.Fatalf("anonymize after restart: status %d: %s", code, gotAnon)
+	}
+	if !bytes.Equal(gotAnon, cachedAnon) {
+		t.Errorf("anonymize differs after restart:\npre:  %s\npost: %s", cachedAnon, gotAnon)
+	}
+	if got := s2.Metrics().PipelineRuns.Value(); got != 0 {
+		t.Errorf("warm path ran the pipeline %d times, want 0", got)
+	}
+	if got := s2.Metrics().PersistReleaseLoads.Value(); got != 1 {
+		t.Errorf("release loads = %d, want 1", got)
+	}
+	if got := s2.Metrics().DatasetBuilds.Value(); got != 1 {
+		t.Errorf("dataset builds = %d, want 1 (engine rebuild)", got)
+	}
+}
+
+// TestRestartRecoveryCSVDataset covers the uploaded-dataset manifest:
+// the raw CSV bytes are retained and re-decoded after a restart, and
+// attacks against the recovered release are byte-identical.
+func TestRestartRecoveryCSVDataset(t *testing.T) {
+	dir := t.TempDir()
+	table := adult.Generate(150, 9)
+	var buf bytes.Buffer
+	if err := dataset.WriteCSV(&buf, table); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts1 := diskServer(t, dir)
+	resp, err := http.Post(ts1.URL+"/v1/datasets", "text/csv", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload: status %d: %s", resp.StatusCode, b)
+	}
+	ds := mustJSON[DatasetResponse](t, b).ID
+	code, body := post(t, ts1, "/v1/anonymize", fmt.Sprintf(`{"dataset":%q}`, ds))
+	if code != http.StatusOK {
+		t.Fatalf("anonymize: status %d: %s", code, body)
+	}
+	rel := mustJSON[AnonymizeResponse](t, body).Release
+	_, attack := post(t, ts1, "/v1/attack", fmt.Sprintf(`{"release":%q}`, rel))
+	ts1.Close()
+
+	s2, ts2 := diskServer(t, dir)
+	code, gotAttack := post(t, ts2, "/v1/attack", fmt.Sprintf(`{"release":%q}`, rel))
+	if code != http.StatusOK {
+		t.Fatalf("attack after restart: status %d: %s", code, gotAttack)
+	}
+	if !bytes.Equal(gotAttack, attack) {
+		t.Errorf("attack differs after restart:\npre:  %s\npost: %s", attack, gotAttack)
+	}
+	if got := s2.Metrics().PipelineRuns.Value(); got != 0 {
+		t.Errorf("warm path ran the pipeline %d times, want 0", got)
+	}
+}
+
+// TestEvictionFallsThroughToDisk: with a durable tier, LRU eviction no
+// longer loses work — an evicted release is served from disk instead
+// of 404ing, without a pipeline rerun.
+func TestEvictionFallsThroughToDisk(t *testing.T) {
+	s, ts := newTestServerCfg(t, Config{Workers: -1, ReleaseCap: 2, DataDir: t.TempDir()})
+	ds := createDataset(t, ts, 120, 11)
+
+	rel := func(model string) string {
+		code, b := post(t, ts, "/v1/anonymize", fmt.Sprintf(`{"dataset":%q,"model":%q}`, ds, model))
+		if code != http.StatusOK {
+			t.Fatalf("anonymize %s: status %d: %s", model, code, b)
+		}
+		return mustJSON[AnonymizeResponse](t, b).Release
+	}
+	first := rel("distinct")
+	rel("prob")
+	rel("tclose") // evicts the distinct release from memory
+	if got := s.Metrics().StoreEvictions.Value(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+
+	if code, b := get(t, ts, "/v1/releases/"+first); code != http.StatusOK {
+		t.Fatalf("evicted release should load from disk, got %d: %s", code, b)
+	}
+	if code, b := post(t, ts, "/v1/attack", fmt.Sprintf(`{"release":%q}`, first)); code != http.StatusOK {
+		t.Fatalf("attack on evicted release should work from disk, got %d: %s", code, b)
+	}
+	if got := s.Metrics().PipelineRuns.Value(); got != 3 {
+		t.Fatalf("pipeline runs = %d, want 3 (no recompute after eviction)", got)
+	}
+	if got := s.Metrics().PersistReleaseLoads.Value(); got != 1 {
+		t.Fatalf("release loads = %d, want 1", got)
+	}
+}
+
+// TestCorruptFilesDegradeToRecompute: a torn or tampered file on disk
+// must never surface as a 500 — reads treat it as absent, GETs 404,
+// and anonymize recomputes (and rewrites) the release.
+func TestCorruptFilesDegradeToRecompute(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := diskServer(t, dir)
+	ds := createDataset(t, ts1, 150, 3)
+	anonBody := fmt.Sprintf(`{"dataset":%q,"model":"distinct"}`, ds)
+	code, body := post(t, ts1, "/v1/anonymize", anonBody)
+	if code != http.StatusOK {
+		t.Fatalf("anonymize: status %d: %s", code, body)
+	}
+	rel := mustJSON[AnonymizeResponse](t, body).Release
+	ts1.Close()
+
+	relPath := filepath.Join(dir, "releases", rel+".json")
+	valid, err := os.ReadFile(relPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(relPath, []byte(`{"id":"garbage`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A structurally valid record written under the wrong id must fail
+	// the content-address check, not serve someone else's release.
+	alias := filepath.Join(dir, "releases", "rel_deadbeefdeadbeef.json")
+	if err := os.WriteFile(alias, valid, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := diskServer(t, dir)
+	if code, _ := get(t, ts2, "/v1/releases/"+rel); code != http.StatusNotFound {
+		t.Errorf("corrupt release file should 404, got %d", code)
+	}
+	if code, _ := get(t, ts2, "/v1/releases/rel_deadbeefdeadbeef"); code != http.StatusNotFound {
+		t.Errorf("mis-addressed release file should 404, got %d", code)
+	}
+	code, body = post(t, ts2, "/v1/anonymize", anonBody)
+	if code != http.StatusOK {
+		t.Fatalf("anonymize over corrupt file: status %d: %s", code, body)
+	}
+	resp := mustJSON[AnonymizeResponse](t, body)
+	if resp.Cached || resp.Release != rel {
+		t.Errorf("expected fresh recompute at the same address: %+v", resp)
+	}
+	if got := s2.Metrics().PipelineRuns.Value(); got != 1 {
+		t.Errorf("pipeline runs = %d, want 1 (recompute)", got)
+	}
+	if got := s2.Metrics().PersistErrors.Value(); got == 0 {
+		t.Error("corruption was not counted as a persist error")
+	}
+	// The recompute wrote the release back; it now recovers cleanly.
+	if fixed, err := os.ReadFile(relPath); err != nil || !bytes.Equal(fixed[:8], valid[:8]) {
+		t.Errorf("release file was not healed by the recompute (err=%v)", err)
+	}
+
+	// Corrupting the dataset manifest degrades anonymize to 404 (the
+	// dataset is unknown), not 500.
+	ts2.Close()
+	if err := os.WriteFile(filepath.Join(dir, "datasets", ds+".json"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts3 := diskServer(t, dir)
+	if code, b := post(t, ts3, "/v1/anonymize", anonBody); code != http.StatusNotFound {
+		t.Errorf("anonymize on corrupt dataset manifest: status %d (want 404): %s", code, b)
+	}
+}
+
+// TestRestartRecoverySchemas: specs registered over HTTP persist and
+// resolve after a restart, so datasets under them stay rebuildable.
+func TestRestartRecoverySchemas(t *testing.T) {
+	dir := t.TempDir()
+	doc, err := os.ReadFile(filepath.Join("..", "..", "examples", "schemas", "hospital.json"))
+	if err != nil {
+		t.Skipf("example spec unavailable: %v", err)
+	}
+	_, ts1 := diskServer(t, dir)
+	code, body := post(t, ts1, "/v1/schemas", string(doc))
+	if code != http.StatusOK {
+		t.Fatalf("register: status %d: %s", code, body)
+	}
+	reg := mustJSON[SchemaRegisterResponse](t, body)
+	code, body = post(t, ts1, "/v1/datasets", fmt.Sprintf(`{"n":200,"seed":4,"schema":%q}`, reg.ID))
+	if code != http.StatusOK {
+		t.Fatalf("synthesize: status %d: %s", code, body)
+	}
+	ds := mustJSON[DatasetResponse](t, body).ID
+	code, body = post(t, ts1, "/v1/anonymize", fmt.Sprintf(`{"dataset":%q}`, ds))
+	if code != http.StatusOK {
+		t.Fatalf("anonymize: status %d: %s", code, body)
+	}
+	rel := mustJSON[AnonymizeResponse](t, body).Release
+	ts1.Close()
+
+	s2, ts2 := diskServer(t, dir)
+	if _, id, ok := s2.Schemas().Resolve(reg.ID); !ok || id != reg.ID {
+		t.Fatalf("schema %s did not survive the restart", reg.ID)
+	}
+	if code, b := post(t, ts2, "/v1/attack", fmt.Sprintf(`{"release":%q}`, rel)); code != http.StatusOK {
+		t.Fatalf("attack after restart: status %d: %s", code, b)
+	}
+	if got := s2.Metrics().PipelineRuns.Value(); got != 0 {
+		t.Errorf("warm path ran the pipeline %d times, want 0", got)
+	}
+}
+
+// TestValidID pins the id sanitization that keeps URL-supplied ids
+// from becoming path traversal on the durable tier.
+func TestValidID(t *testing.T) {
+	for id, want := range map[string]bool{
+		"rel_0123456789abcdef": true,
+		"rel_deadbeef":         true,
+		"rel_":                 false,
+		"rel_DEADBEEF":         false,
+		"ds_0011":              false, // wrong prefix for "rel"
+		"rel_..":               false,
+		"rel_a/b":              false,
+		"../etc/passwd":        false,
+		"":                     false,
+	} {
+		if got := validID("rel", id); got != want {
+			t.Errorf("validID(rel, %q) = %v, want %v", id, got, want)
+		}
+	}
+	if !validID("ds", "ds_0011aaff") || !validID("sch", "sch_00") {
+		t.Error("prefix matching broken for ds/sch")
+	}
+}

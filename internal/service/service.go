@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -38,6 +39,19 @@ type Config struct {
 	MaxUploadBytes int64
 	// MaxSyntheticN caps synthetic table sizes (default 1,000,000).
 	MaxSyntheticN int
+	// DataDir, when non-empty, enables the durable tier: schemas,
+	// dataset manifests, and releases write through to
+	// content-addressed files under this directory, lookups fall
+	// through memory→disk→404, and a fresh server on the same
+	// directory recovers previous work without rerunning the pipeline.
+	DataDir string
+	// JobWorkers sizes the async-anonymize worker pool (default 2;
+	// negative = 1). Each worker runs one pipeline at a time — the
+	// pipelines parallelize internally on the engine pool.
+	JobWorkers int
+	// JobQueueDepth bounds the async job queue (default 128).
+	// Submissions beyond the bound are rejected with 503.
+	JobQueueDepth int
 }
 
 func (c Config) withDefaults() Config {
@@ -52,6 +66,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSyntheticN == 0 {
 		c.MaxSyntheticN = 1_000_000
+	}
+	if c.JobWorkers == 0 {
+		c.JobWorkers = 2
+	}
+	if c.JobWorkers < 0 {
+		c.JobWorkers = 1
+	}
+	if c.JobQueueDepth == 0 {
+		c.JobQueueDepth = 128
 	}
 	return c
 }
@@ -91,28 +114,51 @@ type Server struct {
 	datasets *lruStore[*datasetEntry]
 	releases *lruStore[*releaseEntry]
 
+	// disk is the durable tier (nil when Config.DataDir is empty).
+	disk *diskStore
+	// jobs is the async-anonymize queue drained by the job workers.
+	jobs *jobQueue
+
 	// attacks dedups concurrent identical attack/risk computations.
 	// Results are not memoized — the release store already pins the
 	// expensive artifact — so repeated sequential attacks recompute on
 	// the warm engine.
 	attacks parallel.Group[*AttackResponse]
+	// dsRecover and relRecover dedup concurrent disk recoveries so a
+	// thundering herd after a restart rebuilds each engine once.
+	dsRecover  parallel.Group[*datasetEntry]
+	relRecover parallel.Group[*releaseEntry]
 }
 
 // New builds a server with the given configuration. The schema
-// registry starts with the built-in "adult" spec; more specs arrive
-// over POST /v1/schemas or are preloaded at boot via
-// Schemas().Register (cmd/serve -schema).
-func New(cfg Config) *Server {
+// registry starts with the built-in "adult" spec plus — when a data
+// directory is configured — every spec persisted by a previous
+// process; more specs arrive over POST /v1/schemas or are preloaded at
+// boot via RegisterSchema (cmd/serve -schema).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:      cfg.withDefaults(),
+		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		metrics:  newMetrics(),
 		schemas:  schema.NewRegistry(),
-		datasets: newLRUStore[*datasetEntry](cfg.withDefaults().DatasetCap),
-		releases: newLRUStore[*releaseEntry](cfg.withDefaults().ReleaseCap),
+		datasets: newLRUStore[*datasetEntry](cfg.DatasetCap),
+		releases: newLRUStore[*releaseEntry](cfg.ReleaseCap),
+		jobs:     newJobQueue(cfg.JobQueueDepth),
 	}
 	s.schemas.MustRegister(adult.Spec())
 	s.releases.onEvict = func(string) { s.metrics.StoreEvictions.Add(1) }
+	if cfg.DataDir != "" {
+		disk, err := newDiskStore(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = disk
+		if err := s.replaySchemas(); err != nil {
+			return nil, err
+		}
+	}
+	s.startJobWorkers(cfg.JobWorkers)
 	s.route("/v1/schemas", methods{
 		http.MethodPost: s.handleSchemaRegister,
 		http.MethodGet:  s.handleSchemaList,
@@ -122,9 +168,37 @@ func New(cfg Config) *Server {
 	s.route("/v1/attack", methods{http.MethodPost: s.handleAttack})
 	s.route("/v1/risk", methods{http.MethodPost: s.handleRisk})
 	s.route("/v1/releases/", methods{http.MethodGet: s.handleRelease})
+	s.route("/v1/jobs/", methods{http.MethodGet: s.handleJob})
 	s.route("/healthz", methods{http.MethodGet: s.handleHealthz})
 	s.route("/metrics", methods{http.MethodGet: s.handleMetrics})
-	return s
+	return s, nil
+}
+
+// replaySchemas re-registers every persisted spec at boot. A document
+// that no longer parses or validates is skipped (counted as a persist
+// error) rather than failing the boot: the server still starts, and
+// datasets under the broken schema degrade to not-found.
+func (s *Server) replaySchemas() error {
+	docs, err := s.disk.loadSchemas()
+	if err != nil {
+		return fmt.Errorf("service: replaying persisted schemas: %w", err)
+	}
+	for _, doc := range docs {
+		if _, _, err := s.schemas.Import(doc); err != nil {
+			s.metrics.PersistErrors.Add(1)
+		}
+	}
+	return nil
+}
+
+// PersistedArtifacts reports how many schemas, datasets, and releases
+// the durable tier holds (zeros when persistence is disabled) — boot
+// logging for cmd/serve.
+func (s *Server) PersistedArtifacts() (schemas, datasets, releases int) {
+	if s.disk == nil {
+		return 0, 0, 0
+	}
+	return s.disk.counts()
 }
 
 // Metrics exposes the server's counters (tests, loadgen reporting).
@@ -193,6 +267,19 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// writeBodyErr maps a request-body read/decode failure to its status:
+// a body that blew through its http.MaxBytesReader limit is a 413
+// naming the limit; everything else is a plain 400.
+func writeBodyErr(w http.ResponseWriter, what string, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			"%s: request body exceeds the %d-byte limit", what, mbe.Limit)
+		return
+	}
+	writeErr(w, http.StatusBadRequest, "%s: %v", what, err)
+}
+
 // decodeJSON strictly decodes a JSON body into v (unknown fields and
 // trailing garbage rejected), with a 1 MiB limit.
 func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
@@ -210,11 +297,11 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 // handleSchemaRegister parses, validates, and registers a declarative
 // spec. Validation failures are precise 400s (the registry's
 // registration-time coherence checks); a name already bound to
-// different content is a 409.
+// different content is a 409; an oversized document is a 413.
 func (s *Server) handleSchemaRegister(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, schema.MaxSpecBytes))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "reading spec: %v", err)
+		writeBodyErr(w, "reading spec", err)
 		return
 	}
 	spec, err := schema.Parse(body)
@@ -222,7 +309,7 @@ func (s *Server) handleSchemaRegister(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	id, existed, err := s.schemas.Register(spec)
+	id, existed, err := s.RegisterSchema(spec)
 	if err != nil {
 		code := http.StatusBadRequest
 		var taken *schema.ErrNameTaken
@@ -233,6 +320,28 @@ func (s *Server) handleSchemaRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SchemaRegisterResponse{ID: id, Name: spec.Name, Existed: existed})
+}
+
+// RegisterSchema registers a spec and writes it through to the durable
+// tier, so a restarted server still resolves it. It is the entry point
+// both for POST /v1/schemas and for boot-time preloading (cmd/serve
+// -schema).
+func (s *Server) RegisterSchema(spec *schema.Spec) (id string, existed bool, err error) {
+	id, existed, err = s.schemas.Register(spec)
+	if err != nil || s.disk == nil {
+		return id, existed, err
+	}
+	// Write even when the content already existed: registration is
+	// idempotent and so is the file, and re-writing heals a directory
+	// that predates persistence or lost the document.
+	if doc, ok := s.schemas.Export(id); ok {
+		if werr := s.disk.saveSchema(id, doc); werr != nil {
+			s.metrics.PersistErrors.Add(1)
+		} else {
+			s.metrics.PersistWrites.Add(1)
+		}
+	}
+	return id, existed, err
 }
 
 // handleSchemaList lists the registered specs, built-ins included.
@@ -291,7 +400,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	}
 	var req DatasetRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeBodyErr(w, "decoding request", err)
 		return
 	}
 	if req.N < 1 || req.N > s.cfg.MaxSyntheticN {
@@ -323,7 +432,14 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			// not just the leader — classifies it as client input.
 			return nil, synthesisError{err}
 		}
-		return s.buildDataset(id, schemaID, spec, table)
+		e, err := s.buildDataset(id, schemaID, spec, table)
+		if err == nil {
+			s.persistDataset(datasetRecord{
+				ID: id, Schema: schemaID, Source: "synthetic",
+				N: req.N, Seed: req.Seed,
+			}, nil)
+		}
+		return e, err
 	})
 	if err != nil {
 		// A synthesis failure is the spec's own model rejecting the
@@ -359,9 +475,16 @@ func (s *Server) ingestCSV(w http.ResponseWriter, r *http.Request) {
 	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxUploadBytes)
 	h := sha256.New()
-	table, err := dataset.ReadCSV(io.TeeReader(body, h), spec.ColumnSpecs())
+	var stream io.Reader = io.TeeReader(body, h)
+	// With a durable tier the raw bytes are also retained, so the
+	// dataset can be rebuilt byte-identically after a restart.
+	var raw bytes.Buffer
+	if s.disk != nil {
+		stream = io.TeeReader(stream, &raw)
+	}
+	table, err := dataset.ReadCSV(stream, spec.ColumnSpecs())
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "decoding CSV: %v", err)
+		writeBodyErr(w, "decoding CSV", err)
 		return
 	}
 	if table.N() == 0 {
@@ -377,7 +500,11 @@ func (s *Server) ingestCSV(w http.ResponseWriter, r *http.Request) {
 	}
 	id := hashID("ds", "csv|schema="+schemaID+"|sha256="+hex.EncodeToString(h.Sum(nil)))
 	entry, src, err := s.datasets.do(id, func() (*datasetEntry, error) {
-		return s.buildDataset(id, schemaID, spec, table)
+		e, err := s.buildDataset(id, schemaID, spec, table)
+		if err == nil {
+			s.persistDataset(datasetRecord{ID: id, Schema: schemaID, Source: "csv"}, raw.Bytes())
+		}
+		return e, err
 	})
 	if err != nil {
 		// Engine-build failures here are caused by the uploaded
@@ -390,13 +517,16 @@ func (s *Server) ingestCSV(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleAnonymize resolves (dataset, algo, model, params) through the
-// release store: resident releases return immediately, concurrent
-// identical requests collapse into one pipeline run, and new keys run
-// the pipeline on the shared pool.
+// release store: resident releases return immediately, persisted ones
+// recover from disk, concurrent identical requests collapse into one
+// pipeline run, and new keys run the pipeline on the shared pool.
+// With "async": true the request becomes a queued job instead — a 202
+// with the job handle and the (already known, content-addressed)
+// release id.
 func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 	var req AnonymizeRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeBodyErr(w, "decoding request", err)
 		return
 	}
 	req.normalize()
@@ -404,16 +534,45 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ds, ok := s.datasets.get(req.Dataset)
+	ds, ok := s.getDataset(req.Dataset)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
 		return
 	}
-	id := hashID("rel", req.key())
-	entry, src, err := s.releases.do(id, func() (*releaseEntry, error) {
-		return s.runPipeline(id, ds, req)
-	})
-	s.metrics.countStore(src)
+	if req.Async {
+		// The job carries the canonical synchronous form: Async is
+		// transport, not content, and must not leak into the release
+		// key or the persisted request.
+		req.Async = false
+		id := hashID("rel", req.key())
+		var j *job
+		var deduped bool
+		var err error
+		if _, resident := s.releases.get(id); resident {
+			// Already computed: born-done job — no queue slot spent,
+			// no 503 from a full queue, no waiting behind real work.
+			s.metrics.countStore(sourceHit)
+			if j, err = s.jobs.complete(ds, req, id); err == nil {
+				s.metrics.JobsDone.Add(1)
+			}
+		} else {
+			j, deduped, err = s.jobs.submit(ds, req, id)
+		}
+		if err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		if deduped {
+			s.metrics.JobsDeduped.Add(1)
+		} else {
+			s.metrics.JobsSubmitted.Add(1)
+		}
+		resp := s.jobs.snapshot(j)
+		resp.Deduped = deduped
+		writeJSON(w, http.StatusAccepted, resp)
+		return
+	}
+	entry, src, err := s.resolveOrCompute(ds, req)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "anonymizing: %v", err)
 		return
@@ -431,6 +590,34 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// resolveOrCompute is the release-resolution core shared by the sync
+// handler and the job workers: memory store, then the durable tier,
+// then one singleflighted pipeline run whose result writes through to
+// disk. The source return distinguishes resident (sourceHit), shared
+// in-flight (sourceShared), disk-recovered (sourceDisk), and freshly
+// computed (sourceMiss).
+func (s *Server) resolveOrCompute(ds *datasetEntry, req AnonymizeRequest) (*releaseEntry, source, error) {
+	id := hashID("rel", req.key())
+	fromDisk := false
+	entry, src, err := s.releases.do(id, func() (*releaseEntry, error) {
+		if e, ok := s.recoverRelease(id, ds); ok {
+			fromDisk = true
+			return e, nil
+		}
+		e, err := s.runPipeline(id, ds, req)
+		if err != nil {
+			return nil, err
+		}
+		s.persistRelease(e)
+		return e, nil
+	})
+	if fromDisk && src == sourceMiss {
+		src = sourceDisk
+	}
+	s.metrics.countStore(src)
+	return entry, src, err
+}
+
 // runPipeline executes one anonymization on the dataset's engine.
 func (s *Server) runPipeline(id string, ds *datasetEntry, req AnonymizeRequest) (*releaseEntry, error) {
 	s.metrics.PipelineRuns.Add(1)
@@ -440,18 +627,23 @@ func (s *Server) runPipeline(id string, ds *datasetEntry, req AnonymizeRequest) 
 	if err != nil {
 		return nil, err
 	}
-	breachModel := core.BTPrivacy // skyline breaches like (B,t)
-	if m, ok := core.ParseModel(req.Model); ok {
-		breachModel = m
-	}
 	return &releaseEntry{
 		id:          id,
 		ds:          ds,
 		res:         res,
 		req:         req,
-		breachModel: breachModel,
+		breachModel: breachModelFor(req.Model),
 		seconds:     time.Since(start).Seconds(),
 	}, nil
+}
+
+// breachModelFor maps a request's model name to the criterion attacks
+// test the release against; the composite skyline breaches like (B,t).
+func breachModelFor(model string) core.Model {
+	if m, ok := core.ParseModel(model); ok {
+		return m
+	}
+	return core.BTPrivacy
 }
 
 // computeAttack runs (or joins) one attack evaluation: adversary
@@ -492,25 +684,29 @@ func (s *Server) computeAttack(entry *releaseEntry, bprime float64) (*AttackResp
 }
 
 // getRelease resolves an attack/risk request body to a stored release.
+// bprime defaults to 0.3 only when the field is absent: an explicit
+// out-of-range value — zero included — is rejected, with the check and
+// the message agreeing on the valid (0, 1] range.
 func (s *Server) getRelease(w http.ResponseWriter, r *http.Request) (*releaseEntry, float64, bool) {
 	var req AttackRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeBodyErr(w, "decoding request", err)
 		return nil, 0, false
 	}
-	if req.BPrime == 0 {
-		req.BPrime = 0.3
+	bprime := 0.3
+	if req.BPrime != nil {
+		bprime = *req.BPrime
 	}
-	if req.BPrime < 0 || req.BPrime > 1 {
-		writeErr(w, http.StatusBadRequest, "bprime must be in (0, 1] (got %g)", req.BPrime)
+	if bprime <= 0 || bprime > 1 {
+		writeErr(w, http.StatusBadRequest, "bprime must be in (0, 1] (got %g)", bprime)
 		return nil, 0, false
 	}
-	entry, ok := s.releases.get(req.Release)
+	entry, ok := s.resolveRelease(req.Release)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown release %q", req.Release)
 		return nil, 0, false
 	}
-	return entry, req.BPrime, true
+	return entry, bprime, true
 }
 
 func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
@@ -545,7 +741,7 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "want /v1/releases/{id}")
 		return
 	}
-	entry, ok := s.releases.get(id)
+	entry, ok := s.resolveRelease(id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown release %q", id)
 		return
@@ -568,6 +764,22 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleJob reports an async anonymize job's lifecycle state; once
+// done, the release id it names resolves via GET /v1/releases/{id}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeErr(w, http.StatusBadRequest, "want /v1/jobs/{id}")
+		return
+	}
+	j, ok := s.jobs.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.snapshot(j))
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
@@ -576,5 +788,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.releases.len(), s.datasets.len()))
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.releases.len(), s.datasets.len(), s.jobs.pending()))
 }

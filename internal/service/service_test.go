@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/adult"
 	"repro/internal/dataset"
@@ -56,9 +58,25 @@ func mustJSON[T any](t *testing.T, b []byte) T {
 // newTestServer starts a service with the given pool size.
 func newTestServer(t *testing.T, workers int) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(Config{Workers: workers})
+	return newTestServerCfg(t, Config{Workers: workers})
+}
+
+// newTestServerCfg starts a service with full configuration control.
+func newTestServerCfg(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("draining job workers: %v", err)
+		}
+	})
 	return s, ts
 }
 
@@ -183,6 +201,84 @@ func TestServiceErrors(t *testing.T) {
 	}
 }
 
+// TestBPrimeValidation: an explicitly supplied bprime of 0 — or any
+// out-of-range value — is a 400 whose message matches the actual
+// (0, 1] check; only an *omitted* field takes the 0.3 default.
+func TestBPrimeValidation(t *testing.T) {
+	_, ts := newTestServer(t, -1)
+	ds := createDataset(t, ts, 120, 3)
+	code, body := post(t, ts, "/v1/anonymize", fmt.Sprintf(`{"dataset":%q}`, ds))
+	if code != http.StatusOK {
+		t.Fatalf("anonymize: status %d: %s", code, body)
+	}
+	rel := mustJSON[AnonymizeResponse](t, body).Release
+
+	for _, bad := range []string{"0", "-0.2", "1.5"} {
+		code, body := post(t, ts, "/v1/attack", fmt.Sprintf(`{"release":%q,"bprime":%s}`, rel, bad))
+		if code != http.StatusBadRequest {
+			t.Errorf("bprime=%s: status %d (want 400): %s", bad, code, body)
+			continue
+		}
+		if e := mustJSON[errorResponse](t, body); !strings.Contains(e.Error, "(0, 1]") {
+			t.Errorf("bprime=%s: message %q does not state the (0, 1] range", bad, e.Error)
+		}
+	}
+
+	// Omitted → default 0.3; explicit 0.3 → identical response.
+	code, omitted := post(t, ts, "/v1/attack", fmt.Sprintf(`{"release":%q}`, rel))
+	if code != http.StatusOK {
+		t.Fatalf("attack without bprime: status %d: %s", code, omitted)
+	}
+	if resp := mustJSON[AttackResponse](t, omitted); resp.BPrime != 0.3 {
+		t.Errorf("default bprime = %g, want 0.3", resp.BPrime)
+	}
+	code, explicit := post(t, ts, "/v1/attack", fmt.Sprintf(`{"release":%q,"bprime":0.3}`, rel))
+	if code != http.StatusOK || !bytes.Equal(omitted, explicit) {
+		t.Errorf("explicit 0.3 differs from default:\nomitted:  %s\nexplicit: %s", omitted, explicit)
+	}
+}
+
+// TestOversizedBodiesAre413: bodies that blow through their
+// MaxBytesReader limit surface as 413 with the limit named, not as
+// generic 400s — on the JSON endpoints, the schema endpoint, and the
+// CSV upload path.
+func TestOversizedBodiesAre413(t *testing.T) {
+	_, ts := newTestServerCfg(t, Config{Workers: -1, MaxUploadBytes: 512})
+
+	big := strings.Repeat("x", 2<<20)
+	check := func(name, path, contentType, body string, wantLimit string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, contentType, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s: status %d (want 413): %s", name, resp.StatusCode, b)
+			return
+		}
+		if e := mustJSON[errorResponse](t, b); !strings.Contains(e.Error, wantLimit) {
+			t.Errorf("%s: message %q does not name the %s-byte limit", name, e.Error, wantLimit)
+		}
+	}
+	check("anonymize", "/v1/anonymize", "application/json", `{"pad":"`+big, "1048576")
+	check("datasets", "/v1/datasets", "application/json", `{"pad":"`+big, "1048576")
+	check("attack", "/v1/attack", "application/json", `{"pad":"`+big, "1048576")
+	check("schemas", "/v1/schemas", "application/json", `{"pad":"`+big, "1048576")
+
+	// A well-formed CSV whose bytes exceed the upload cap: the limit,
+	// not a parse failure, must be what rejects it.
+	var csvBuf bytes.Buffer
+	if err := dataset.WriteCSV(&csvBuf, adult.Generate(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if csvBuf.Len() <= 512 {
+		t.Fatalf("test CSV only %d bytes, want > 512", csvBuf.Len())
+	}
+	check("csv upload", "/v1/datasets", "text/csv", csvBuf.String(), "512")
+}
+
 // TestServiceCSVUpload round-trips a generated table through the CSV
 // ingestion path and checks content addressing dedups a re-upload.
 func TestServiceCSVUpload(t *testing.T) {
@@ -260,9 +356,7 @@ func TestConcurrentAnonymizeRunsPipelineOnce(t *testing.T) {
 // releases and checks the first is evicted, attacks on it 404, and a
 // re-request recomputes.
 func TestReleaseStoreEvictionEndToEnd(t *testing.T) {
-	s := New(Config{Workers: -1, ReleaseCap: 2})
-	ts := httptest.NewServer(s)
-	t.Cleanup(ts.Close)
+	s, ts := newTestServerCfg(t, Config{Workers: -1, ReleaseCap: 2})
 	ds := createDataset(t, ts, 120, 11)
 
 	rel := func(model string) string {

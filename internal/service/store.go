@@ -19,6 +19,10 @@ const (
 	// sourceShared: an identical computation was in flight and this
 	// caller shared its result (singleflight dedup).
 	sourceShared
+	// sourceDisk: the value was recovered from the durable tier
+	// instead of being recomputed. Assigned by the server's
+	// resolution layer — the LRU store itself knows nothing of disk.
+	sourceDisk
 )
 
 // lruStore is a content-addressed cache with LRU eviction and
