@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench fuzz cover serve loadgen restart-smoke
+.PHONY: ci fmt vet build test race bench bench-json fuzz cover serve loadgen restart-smoke
 
 ci: fmt vet build race bench fuzz restart-smoke
 
@@ -31,6 +31,15 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+# Record the benchmark suite as BENCH JSON (name → ns/op, B/op,
+# allocs/op, plus deltas against BENCH_BASELINE when set):
+#   make bench-json                             # rewrites BENCH_5.json
+#   make bench-json BENCH_OUT=BENCH_6.json BENCH_BASELINE=BENCH_5.json
+BENCH_OUT ?= BENCH_5.json
+BENCH_BASELINE ?=
+bench-json:
+	GO="$(GO)" sh scripts/bench.sh "$(BENCH_OUT)" "$(BENCH_BASELINE)"
 
 # Short fuzz smoke over the two parsers that face untrusted input.
 # `go test -fuzz` takes one target per invocation.

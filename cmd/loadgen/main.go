@@ -11,12 +11,18 @@
 //
 //	loadgen [-addr http://127.0.0.1:8080] [-concurrency C] [-duration D]
 //	        [-n N] [-seed S] [-mix anonymize:1,attack:4,risk:2] [-models distinct,bt]
-//	        [-schema spec.json] [-async]
+//	        [-schema spec.json] [-async] [-sweep]
 //
 // -schema registers the given declarative spec over POST /v1/schemas,
 // ingests a second dataset under it, and warms its releases alongside
 // the Adult ones, so the steady-state mix drives multi-schema traffic
 // and the server's cache ledger exercises schema-keyed addressing.
+//
+// -sweep switches the attack and risk scenarios to the bprimes form:
+// each request carries the whole b' grid and the server evaluates it
+// in one amortized pass (one fused kernel sweep instead of one prior
+// pass per bandwidth); the report's sweeps line shows the achieved
+// points-per-request amortization.
 //
 // -async switches the anonymize scenario to the job API: each request
 // submits with "async": true, takes the 202 + job handle, and polls
@@ -139,6 +145,7 @@ func main() {
 	modelsSpec := flag.String("models", "distinct,bt", "models to warm and cycle (comma-separated)")
 	schemaPath := cli.Schema("JSON dataset spec to register and mix into the workload")
 	asyncMode := flag.Bool("async", false, "submit anonymize requests as async jobs and poll to completion")
+	sweepMode := flag.Bool("sweep", false, "send the whole b' grid per attack/risk request (bprimes sweep form)")
 	flag.Parse()
 
 	mix, err := parseMix(*mixSpec)
@@ -213,6 +220,17 @@ func main() {
 	}
 
 	bprimes := []float64{0.2, 0.25, 0.3, 0.35, 0.4, 0.45, 0.5}
+	// -sweep: every attack/risk request carries the whole grid in the
+	// bprimes form, so one request amortizes len(bprimes) evaluations
+	// over a single fused kernel pass (the server's sweeps ledger
+	// reports the achieved points/request).
+	sweepBody := func(rel string) string {
+		parts := make([]string, len(bprimes))
+		for i, bp := range bprimes {
+			parts[i] = strconv.FormatFloat(bp, 'g', -1, 64)
+		}
+		return fmt.Sprintf(`{"release":%q,"bprimes":[%s]}`, rel, strings.Join(parts, ","))
+	}
 	deadline := time.Now().Add(*duration)
 	samplesPerWorker := make([][]sample, *concurrency)
 	var wg sync.WaitGroup
@@ -237,8 +255,12 @@ func main() {
 						_, err = c.postJSON("/v1/anonymize", rel.body, nil)
 					}
 				case "attack", "risk":
-					bp := strconv.FormatFloat(bprimes[rng.Intn(len(bprimes))], 'g', -1, 64)
-					_, err = c.postJSON("/v1/"+op, fmt.Sprintf(`{"release":%q,"bprime":%s}`, rel.id, bp), nil)
+					if *sweepMode {
+						_, err = c.postJSON("/v1/"+op, sweepBody(rel.id), nil)
+					} else {
+						bp := strconv.FormatFloat(bprimes[rng.Intn(len(bprimes))], 'g', -1, 64)
+						_, err = c.postJSON("/v1/"+op, fmt.Sprintf(`{"release":%q,"bprime":%s}`, rel.id, bp), nil)
+					}
 				}
 				out = append(out, sample{op: op, d: time.Since(t0), ok: err == nil})
 			}
@@ -357,6 +379,11 @@ func printServerMetrics(c *client) {
 		snap.Requests, snap.Errors, snap.PipelineRuns, snap.DatasetBuilds)
 	fmt.Printf("release store: %d hits, %d shared, %d misses, %d evictions, %d resident\n",
 		snap.Store.Hits, snap.Store.Shared, snap.Store.Misses, snap.Store.Evictions, snap.Store.Releases)
+	if snap.Sweeps.Requests > 0 {
+		fmt.Printf("sweeps: %d requests, %d points (%.1f points/request amortized)\n",
+			snap.Sweeps.Requests, snap.Sweeps.Points,
+			float64(snap.Sweeps.Points)/float64(snap.Sweeps.Requests))
+	}
 	if snap.Jobs.Submitted+snap.Jobs.Deduped > 0 {
 		fmt.Printf("jobs: %d submitted, %d deduped, %d done, %d failed, %d pending\n",
 			snap.Jobs.Submitted, snap.Jobs.Deduped, snap.Jobs.Done, snap.Jobs.Failed, snap.Jobs.Pending)

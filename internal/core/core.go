@@ -208,6 +208,54 @@ func (e *Engine) UniformPriors(b float64) ([]prob.Dist, error) {
 	return e.Priors(kernel.UniformBandwidth(e.Table.Schema.D(), b))
 }
 
+// PriorsBatch returns the per-record priors for a whole bandwidth
+// grid, computing every cache-missing bandwidth in one fused estimator
+// pass (kernel.Estimator.PriorsBatch) instead of one pass per
+// bandwidth. Results land in the same per-bandwidth cache Priors uses,
+// and out[i] is bit-identical to Priors(bvecs[i]).
+func (e *Engine) PriorsBatch(bvecs [][]float64) ([][]prob.Dist, error) {
+	entries := make([]*priorEntry, len(bvecs))
+	var missing []int
+	e.mu.Lock()
+	for i, b := range bvecs {
+		key := kernel.BandwidthKey(b)
+		entry, ok := e.priors[key]
+		if !ok {
+			entry = &priorEntry{}
+			e.priors[key] = entry
+			missing = append(missing, i)
+		}
+		entries[i] = entry
+	}
+	e.mu.Unlock()
+	if len(missing) > 0 {
+		grid := make([][]float64, len(missing))
+		for j, i := range missing {
+			grid[j] = bvecs[i]
+		}
+		batch, err := e.Estimator.PriorsBatch(grid)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range missing {
+			entry, priors := entries[i], batch[j]
+			entry.once.Do(func() { entry.priors = priors })
+		}
+	}
+	out := make([][]prob.Dist, len(bvecs))
+	for i, entry := range entries {
+		// Entries that were already resident (or racing) resolve
+		// through the same singleflight slot Priors uses.
+		b := bvecs[i]
+		entry.once.Do(func() { entry.priors, entry.err = e.Estimator.Priors(b) })
+		if entry.err != nil {
+			return nil, entry.err
+		}
+		out[i] = entry.priors
+	}
+	return out, nil
+}
+
 // Requirement builds the composed requirement (model ∧ K-anonymity)
 // for a parameter set, as the evaluation enforces (§V).
 func (e *Engine) Requirement(m Model, p Params) (privacy.Requirement, error) {
@@ -350,7 +398,10 @@ func (e *Engine) RunAlgorithm(algo, model string, p Params) (res *anonymize.Resu
 
 // Breach decides whether one record's privacy — as promised by a
 // particular privacy model — fails given the adversary's prior and
-// posterior beliefs about it.
+// posterior beliefs about it. A nil Breach is the (B,t) criterion:
+// the knowledge gain D[prior, posterior] — which Attack computes for
+// its risk report anyway — exceeds the attack's t threshold, with no
+// second measure evaluation.
 type Breach func(prior, post prob.Dist) bool
 
 // BreachTest returns the vulnerability criterion of a privacy model,
@@ -362,6 +413,10 @@ type Breach func(prior, post prob.Dist) bool
 //     than t in EMD — the model's own distance — so the breach counts
 //     release-caused drift, not pre-existing prior deviation.
 //   - (B,t)-privacy: the knowledge gain D[prior, posterior] exceeds t.
+//     This is Attack's nil-breach criterion — BreachTest returns nil so
+//     the attack reuses the gain it already computed instead of running
+//     the smoothed measure twice per record. (Every attack entry point
+//     passes p.T as its threshold, so the semantics are unchanged.)
 func (e *Engine) BreachTest(m Model, p Params) Breach {
 	switch m {
 	case DistinctLDiversity, ProbabilisticLDiversity:
@@ -375,9 +430,7 @@ func (e *Engine) BreachTest(m Model, p Params) Breach {
 			return distance.EMD(prior, post, e.SensMatrix) > p.T
 		}
 	default: // BTPrivacy and skyline entries
-		return func(prior, post prob.Dist) bool {
-			return e.Measure.Distance(prior, post) > p.T
-		}
+		return nil
 	}
 }
 
@@ -417,34 +470,56 @@ func (e *Engine) Attack(res *anonymize.Result, bvec []float64, t float64, breach
 	if err != nil {
 		return nil, err
 	}
-	if breach == nil {
-		breach = func(prior, post prob.Dist) bool {
-			return e.Measure.Distance(prior, post) > t
-		}
-	}
-	m := e.Table.Schema.M()
 	perGroup := parallel.Map(e.Workers(), len(res.Groups), func(gi int) groupAttack {
 		g := res.Groups[gi]
-		gp := make([]prob.Dist, g.Size())
-		svals := make([]int, g.Size())
-		for i, ri := range g.Rows {
-			gp[i] = priors[ri]
-			svals[i] = e.Table.Records[ri].S
-		}
-		posts := e.Method.Posteriors(gp, inference.GroupCounts(svals, m))
-		ga := groupAttack{risks: make([]float64, g.Size())}
-		for i := range g.Rows {
-			risk := e.Measure.Distance(gp[i], posts[i])
-			ga.risks[i] = risk
-			if breach(gp[i], posts[i]) {
+		return e.attackGroup(g, priors, e.groupCounts(g), breach, t)
+	})
+	return e.reduceAttack(res, perGroup), nil
+}
+
+// groupCounts is one class's sensitive multiset — bandwidth-invariant,
+// so sweeps compute it once per class and share it across the grid.
+func (e *Engine) groupCounts(g *anonymize.Group) []int {
+	svals := make([]int, g.Size())
+	for i, ri := range g.Rows {
+		svals[i] = e.Table.Records[ri].S
+	}
+	return inference.GroupCounts(svals, e.Table.Schema.M())
+}
+
+// attackGroup evaluates one equivalence class: posterior inference
+// over its tuples, per-record knowledge gains, and the breach count
+// (the computed gain against t when breach is nil). It is
+// self-contained — shared by Attack and AttackSweep — so any fan-out
+// over (bandwidth, group) pairs stays bit-identical to the sequential
+// path.
+func (e *Engine) attackGroup(g *anonymize.Group, priors []prob.Dist, counts []int, breach Breach, t float64) groupAttack {
+	gp := make([]prob.Dist, g.Size())
+	for i, ri := range g.Rows {
+		gp[i] = priors[ri]
+	}
+	posts := e.Method.Posteriors(gp, counts)
+	ga := groupAttack{risks: make([]float64, g.Size())}
+	for i := range g.Rows {
+		risk := e.Measure.Distance(gp[i], posts[i])
+		ga.risks[i] = risk
+		if breach == nil {
+			if risk > t {
 				ga.vulnerable++
 			}
-			if risk > ga.worst {
-				ga.worst = risk
-			}
+		} else if breach(gp[i], posts[i]) {
+			ga.vulnerable++
 		}
-		return ga
-	})
+		if risk > ga.worst {
+			ga.worst = risk
+		}
+	}
+	return ga
+}
+
+// reduceAttack assembles a report from per-class results in group
+// order — the deterministic fan-in both attack entry points share.
+func (e *Engine) reduceAttack(res *anonymize.Result, perGroup []groupAttack) *AttackReport {
 	rep := &AttackReport{Risks: make([]float64, e.Table.N())}
 	for gi, g := range res.Groups {
 		ga := perGroup[gi]
@@ -456,7 +531,54 @@ func (e *Engine) Attack(res *anonymize.Result, bvec []float64, t float64, breach
 			rep.WorstRisk = ga.worst
 		}
 	}
-	return rep, nil
+	return rep
+}
+
+// AttackSweep runs Attack for a whole grid of adversary bandwidths
+// against one release, amortizing everything that does not depend on
+// the bandwidth: the priors for all cache-missing bandwidths come from
+// one fused estimator pass, the breach criterion and group decode are
+// hoisted out of the loop, and a single parallel dispatch covers every
+// (bandwidth, class) pair instead of one fan-out per bandwidth.
+// out[i] is bit-identical to Attack(res, bvecs[i], t, breach) at any
+// worker count.
+func (e *Engine) AttackSweep(res *anonymize.Result, bvecs [][]float64, t float64, breach Breach) ([]*AttackReport, error) {
+	if len(bvecs) == 0 {
+		return nil, nil
+	}
+	priorsByB, err := e.PriorsBatch(bvecs)
+	if err != nil {
+		return nil, err
+	}
+	nb, ng := len(bvecs), len(res.Groups)
+	// The sensitive multisets are bandwidth-invariant: decode each
+	// class once for the whole grid.
+	counts := make([][]int, ng)
+	for gi, g := range res.Groups {
+		counts[gi] = e.groupCounts(g)
+	}
+	perGroup := parallel.Map(e.Workers(), nb*ng, func(i int) groupAttack {
+		return e.attackGroup(res.Groups[i%ng], priorsByB[i/ng], counts[i%ng], breach, t)
+	})
+	reports := make([]*AttackReport, nb)
+	for bi := range reports {
+		reports[bi] = e.reduceAttack(res, perGroup[bi*ng:(bi+1)*ng])
+	}
+	return reports, nil
+}
+
+// WorstCaseRiskSweep is WorstCaseRisk over a bandwidth grid in one
+// amortized sweep — the per-curve form of Figure 3's quantity.
+func (e *Engine) WorstCaseRiskSweep(res *anonymize.Result, bvecs [][]float64) ([]float64, error) {
+	reps, err := e.AttackSweep(res, bvecs, 1, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(reps))
+	for i, rep := range reps {
+		out[i] = rep.WorstRisk
+	}
+	return out, nil
 }
 
 // WorstCaseRisk returns max_q D[Ppri(B',q), Ppos(B',q,T*)] for the

@@ -181,12 +181,17 @@ func TestBreachTests(t *testing.T) {
 		t.Error("large EMD drift not breached under t=0.2")
 	}
 
-	bt := e.BreachTest(BTPrivacy, p)
-	if bt(uniform, uniform) {
-		t.Error("no knowledge gain breached (B,t)")
+	// (B,t) returns nil — Attack's built-in gain>t criterion, applied
+	// to the knowledge gain the attack computes anyway. The criterion
+	// itself is the measure threshold:
+	if bt := e.BreachTest(BTPrivacy, p); bt != nil {
+		t.Error("BreachTest((B,t)) should be nil — the default gain criterion")
 	}
-	if !bt(uniform, spiky) {
-		t.Error("large knowledge gain not breached under t=0.2")
+	if gain := e.Measure.Distance(uniform, uniform); gain > p.T {
+		t.Errorf("no-gain pair measures %g > t=%g", gain, p.T)
+	}
+	if gain := e.Measure.Distance(uniform, spiky); gain <= p.T {
+		t.Errorf("large-gain pair measures %g <= t=%g", gain, p.T)
 	}
 }
 

@@ -1,0 +1,61 @@
+package dataset
+
+// PackedProfiles is the struct-of-arrays form of a profile set, laid
+// out for the kernel estimator's O(profiles²·d) hot loop: one
+// contiguous QI matrix, one weights vector, and one flattened
+// sensitive-histogram matrix, so the inner loop is sequential loads
+// with no pointer chasing. Histogram counts are pre-converted to
+// float64 (exact for any realistic table size), which is the form the
+// Nadaraya–Watson accumulation consumes.
+type PackedProfiles struct {
+	N int // number of profiles
+	D int // QI attributes per profile
+	M int // sensitive-domain cardinality
+
+	// QI holds the profiles' QI value indexes row-major: profile p's
+	// value for attribute i is QI[p*D+i]. int32 halves the matrix's
+	// cache footprint; no attribute domain approaches 2^31 values.
+	QI []int32
+	// Weights[p] is float64(len(profile p's rows)) — the P(t) weight of
+	// the profile in the kernel regression.
+	Weights []float64
+	// Counts holds the sensitive histograms row-major: profile p's
+	// count for sensitive value s is Counts[p*M+s], as float64.
+	Counts []float64
+	// NZIdx/NZOff index the nonzero entries of each histogram row:
+	// profile p's populated sensitive values, ascending, are
+	// NZIdx[NZOff[p]:NZOff[p+1]]. Most profiles cover one or two of the
+	// M sensitive values, so the accumulation loop walks these instead
+	// of testing all M counts per pair.
+	NZIdx []int32
+	NZOff []int32
+}
+
+// Pack flattens profiles (as produced by Table.Profiles) into the
+// struct-of-arrays layout. d and m are the schema's QI arity and
+// sensitive cardinality; profile order is preserved.
+func Pack(profiles []*Profile, d, m int) *PackedProfiles {
+	pp := &PackedProfiles{
+		N:       len(profiles),
+		D:       d,
+		M:       m,
+		QI:      make([]int32, len(profiles)*d),
+		Weights: make([]float64, len(profiles)),
+		Counts:  make([]float64, len(profiles)*m),
+	}
+	pp.NZOff = make([]int32, len(profiles)+1)
+	for p, prof := range profiles {
+		for i, v := range prof.QI {
+			pp.QI[p*d+i] = int32(v)
+		}
+		pp.Weights[p] = float64(prof.Weight())
+		for s, c := range prof.Counts {
+			pp.Counts[p*m+s] = float64(c)
+			if c != 0 {
+				pp.NZIdx = append(pp.NZIdx, int32(s))
+			}
+		}
+		pp.NZOff[p+1] = int32(len(pp.NZIdx))
+	}
+	return pp
+}

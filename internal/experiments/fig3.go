@@ -30,6 +30,9 @@ func (r *Runner) Fig3a() (*Report, error) {
 	}
 	// Every sweep point anonymizes its own table, so this is the
 	// suite's widest fan-out: one release per point, all independent.
+	// Each point's b' curve comes from one WorstCaseRiskSweep — a
+	// single fused prior pass per release instead of one per b'.
+	bvecs := r.bprimeVecs()
 	rows, err := parallel.MapErr(r.workers(), len(sweep), func(i int) ([]string, error) {
 		p := base
 		p.B = sweep[i]
@@ -37,12 +40,12 @@ func (r *Runner) Fig3a() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		risks, err := r.Engine.WorstCaseRiskSweep(tr.res, bvecs)
+		if err != nil {
+			return nil, err
+		}
 		row := []string{fmtF(sweep[i])}
-		for _, bp := range r.Cfg.BPrimes {
-			risk, err := r.Engine.WorstCaseRisk(tr.res, kernel.UniformBandwidth(r.Table.Schema.D(), bp))
-			if err != nil {
-				return nil, err
-			}
+		for _, risk := range risks {
 			row = append(row, fmtF(risk))
 		}
 		return row, nil

@@ -83,23 +83,31 @@ func ExactPosteriors(priors []prob.Dist, counts []int) ([]prob.Dist, error) {
 		full += ni * radix[i]
 	}
 
-	// pr[j][i] = prior of tuple j on present value i.
-	pr := make([][]float64, k)
+	// Scratch is carved from three backing arrays — the prior matrix,
+	// the k+1 forward and backward state rows, and one digits buffer —
+	// instead of allocating per tuple-step; every row starts zeroed, so
+	// the arithmetic is untouched.
+	prBack := make([]float64, k*r)
+	pr := make([][]float64, k) // pr[j][i] = prior of tuple j on present value i
 	for j, p := range priors {
-		pr[j] = make([]float64, r)
+		pr[j] = prBack[j*r : (j+1)*r]
 		for i, v := range vals {
 			pr[j][i] = p[v]
 		}
 	}
+	fBack := make([]float64, (k+1)*states)
+	bBack := make([]float64, (k+1)*states)
+	digits := make([]int, r)
 
 	// Forward: f[j] maps state -> weight of assigning tuples 0..j-1
 	// starting from full counts. States unreachable stay 0.
 	f := make([][]float64, k+1)
-	f[0] = make([]float64, states)
+	for j := range f {
+		f[j] = fBack[j*states : (j+1)*states]
+	}
 	f[0][full] = 1
 	for j := 0; j < k; j++ {
-		cur, nxt := f[j], make([]float64, states)
-		digits := make([]int, r)
+		cur, nxt := f[j], f[j+1]
 		for s, w := range cur {
 			if w == 0 {
 				continue
@@ -111,7 +119,6 @@ func ExactPosteriors(priors []prob.Dist, counts []int) ([]prob.Dist, error) {
 				}
 			}
 		}
-		f[j+1] = nxt
 	}
 	totalWeight := f[k][0]
 	if totalWeight == 0 {
@@ -121,11 +128,12 @@ func ExactPosteriors(priors []prob.Dist, counts []int) ([]prob.Dist, error) {
 	// Backward: b[j] maps state -> weight of tuples j..k-1 consuming
 	// exactly that state's counts.
 	b := make([][]float64, k+1)
-	b[k] = make([]float64, states)
+	for j := range b {
+		b[j] = bBack[j*states : (j+1)*states]
+	}
 	b[k][0] = 1
 	for j := k - 1; j >= 0; j-- {
-		cur, prv := make([]float64, states), b[j+1]
-		digits := make([]int, r)
+		cur, prv := b[j], b[j+1]
 		for s, w := range prv {
 			if w == 0 {
 				continue
@@ -137,11 +145,9 @@ func ExactPosteriors(priors []prob.Dist, counts []int) ([]prob.Dist, error) {
 				}
 			}
 		}
-		b[j] = cur
 	}
 
 	out := make([]prob.Dist, k)
-	digits := make([]int, r)
 	for j := 0; j < k; j++ {
 		post := make(prob.Dist, m)
 		for s, wf := range f[j] {
@@ -204,11 +210,14 @@ func GroupLikelihood(priors []prob.Dist, counts []int) (float64, error) {
 	for i, ni := range n {
 		full += ni * radix[i]
 	}
+	// Two state rows, swapped and re-zeroed per tuple-step, replace the
+	// per-step allocation; zeroing writes the same starting state the
+	// fresh slice had.
 	cur := make([]float64, states)
+	nxt := make([]float64, states)
 	cur[full] = 1
 	digits := make([]int, r)
 	for j := 0; j < k; j++ {
-		nxt := make([]float64, states)
 		for s, w := range cur {
 			if w == 0 {
 				continue
@@ -223,7 +232,10 @@ func GroupLikelihood(priors []prob.Dist, counts []int) (float64, error) {
 				}
 			}
 		}
-		cur = nxt
+		cur, nxt = nxt, cur
+		for i := range nxt {
+			nxt[i] = 0
+		}
 	}
 	return cur[0], nil
 }

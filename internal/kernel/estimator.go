@@ -20,9 +20,11 @@ import (
 //
 //	P̂pri(q) = Σ_t P(t) Π_i K_i(q_i − t[A_i]) / Σ_t Π_i K_i(q_i − t[A_i]).
 //
-// Identical QI profiles are deduplicated before the O(profiles²)
-// pass, and the per-attribute kernel weights are precomputed into
-// lookup tables, so the inner loop is d multiplications per pair.
+// Identical QI profiles are deduplicated and packed once into a
+// struct-of-arrays layout, and the per-attribute kernel weights are
+// precomputed into flat stride-indexed tables, so the inner loop is
+// d table lookups per pair over contiguous memory (see hotpath.go for
+// the blocked iteration and the fused multi-bandwidth form).
 type Estimator struct {
 	Kernel   Func
 	Table    *dataset.Table
@@ -34,12 +36,28 @@ type Estimator struct {
 	Workers int
 
 	profiles []*dataset.Profile
+	packed   *dataset.PackedProfiles
+	// whole is the whole-table sensitive distribution — the fallback
+	// prior where every kernel weight vanishes.
+	whole prob.Dist
+	// buckets[i] groups the packed profiles by their attribute-i value:
+	// profiles with value v are buckets[i][bucketOff[i][v]:bucketOff[i][v+1]],
+	// ascending. Candidate lists are assembled from these (hotpath.go);
+	// for a single-value support — every categorical attribute under a
+	// sub-sibling bandwidth — the bucket itself is the list, shared.
+	buckets   [][]int32
+	bucketOff [][]int32
 
 	// Weight tables are memoized per bandwidth vector: attack sweeps
 	// and skyline requirements revisit the same few bandwidths, and a
-	// table depends only on (kernel, matrices, b).
-	wmu    sync.Mutex
-	wcache map[string][][][]float64
+	// table depends only on (kernel, matrices, b). parallel.Memo gives
+	// each bandwidth exactly one computation even under concurrent
+	// first calls.
+	wmemo parallel.Memo[*flatTables]
+
+	// pool recycles per-worker tile scratch across calls, so a warm
+	// pass allocates nothing beyond its output.
+	pool sync.Pool
 }
 
 // NewEstimator prepares an estimator for the table. hiers supplies
@@ -59,7 +77,39 @@ func NewEstimator(t *dataset.Table, hiers map[string]*hierarchy.Hierarchy, k Fun
 		e.Matrices[i] = m
 	}
 	e.profiles = t.Profiles()
+	e.packed = dataset.Pack(e.profiles, t.Schema.D(), t.Schema.M())
+	e.whole = prob.FromCounts(t.SensitiveCounts(nil))
+	e.buildBuckets()
 	return e, nil
+}
+
+// buildBuckets fills the per-attribute value buckets with a counting
+// sort, so each bucket lists its profiles in ascending order.
+func (e *Estimator) buildBuckets() {
+	pp := e.packed
+	d, n := pp.D, pp.N
+	e.buckets = make([][]int32, d)
+	e.bucketOff = make([][]int32, d)
+	for i := 0; i < d; i++ {
+		r := len(e.Matrices[i])
+		off := make([]int32, r+1)
+		for u := 0; u < n; u++ {
+			off[pp.QI[u*d+i]+1]++
+		}
+		for v := 0; v < r; v++ {
+			off[v+1] += off[v]
+		}
+		bucket := make([]int32, n)
+		cur := make([]int32, r)
+		copy(cur, off[:r])
+		for u := 0; u < n; u++ {
+			v := pp.QI[u*d+i]
+			bucket[cur[v]] = int32(u)
+			cur[v]++
+		}
+		e.buckets[i] = bucket
+		e.bucketOff[i] = off
+	}
 }
 
 // Profiles exposes the deduplicated QI profiles the estimator runs on.
@@ -95,29 +145,87 @@ func (e *Estimator) Priors(b []float64) ([]prob.Dist, error) {
 	if err != nil {
 		return nil, err
 	}
+	return e.expand(perProfile), nil
+}
+
+// expand maps per-profile priors onto the table's records.
+func (e *Estimator) expand(perProfile []prob.Dist) []prob.Dist {
 	out := make([]prob.Dist, e.Table.N())
 	for pi, p := range e.profiles {
 		for _, row := range p.Rows {
 			out[row] = perProfile[pi]
 		}
 	}
-	return out, nil
+	return out
 }
 
 // ProfilePriors estimates one prior distribution per distinct QI
-// profile, parallelized across profiles with ordered fan-in: each
-// profile's Nadaraya–Watson sum is self-contained, so the result is
-// bit-identical at any worker count.
+// profile, on the flat cache-blocked pass (hotpath.go). Tiles fan out
+// across the estimator's pool with each profile's Nadaraya–Watson sum
+// self-contained, so the result is bit-identical at any worker count.
 func (e *Estimator) ProfilePriors(b []float64) ([]prob.Dist, error) {
 	if err := e.validateBandwidth(b); err != nil {
 		return nil, err
 	}
-	weights := e.weightTables(b)
-	m := e.Table.Schema.M()
-	out := make([]prob.Dist, len(e.profiles))
-	parallel.For(e.Workers, len(e.profiles), func(pi int) {
-		out[pi] = e.priorForProfile(e.profiles[pi], weights, m)
-	})
+	ft := e.weightTables(b)
+	n, m := e.packed.N, e.packed.M
+	backing := make([]float64, n*m)
+	e.priorPass(ft, backing)
+	return sliceDists(backing, n, m), nil
+}
+
+// ProfilePriorsBatch estimates profile priors for every bandwidth
+// vector of a sweep in one fused pass: the per-release invariants
+// (validation, weight tables) are hoisted out of the per-bandwidth
+// loop, and a single blocked sweep of the profile×profile space
+// computes the whole grid, sharing its operand loads and indexing
+// across bandwidths. out[k] is bit-identical to ProfilePriors(bvecs[k])
+// at any worker count.
+func (e *Estimator) ProfilePriorsBatch(bvecs [][]float64) ([][]prob.Dist, error) {
+	if len(bvecs) == 0 {
+		return nil, nil
+	}
+	fts := make([]*flatTables, len(bvecs))
+	for k, b := range bvecs {
+		if err := e.validateBandwidth(b); err != nil {
+			return nil, err
+		}
+		fts[k] = e.weightTables(b)
+	}
+	n, m := e.packed.N, e.packed.M
+	outs := make([][]float64, len(bvecs))
+	for k := range outs {
+		outs[k] = make([]float64, n*m)
+	}
+	// The fused pass handles batchChunk bandwidths at a time (fixed
+	// stack array for the working products, tighter candidate unions);
+	// wider grids stream through in chunks.
+	for c0 := 0; c0 < len(fts); c0 += batchChunk {
+		c1 := c0 + batchChunk
+		if c1 > len(fts) {
+			c1 = len(fts)
+		}
+		e.priorPassBatch(fts[c0:c1], outs[c0:c1])
+	}
+	dists := make([][]prob.Dist, len(bvecs))
+	for k := range outs {
+		dists[k] = sliceDists(outs[k], n, m)
+	}
+	return dists, nil
+}
+
+// PriorsBatch is ProfilePriorsBatch expanded to records: out[k] is
+// bit-identical to Priors(bvecs[k]), with the whole grid computed in
+// one fused pass.
+func (e *Estimator) PriorsBatch(bvecs [][]float64) ([][]prob.Dist, error) {
+	perProfile, err := e.ProfilePriorsBatch(bvecs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]prob.Dist, len(perProfile))
+	for k := range perProfile {
+		out[k] = e.expand(perProfile[k])
+	}
 	return out, nil
 }
 
@@ -127,9 +235,7 @@ func (e *Estimator) PriorAt(q []int, b []float64) (prob.Dist, error) {
 	if err := e.validateBandwidth(b); err != nil {
 		return nil, err
 	}
-	weights := e.weightTables(b)
-	p := &dataset.Profile{QI: q}
-	return e.priorForProfile(p, weights, e.Table.Schema.M()), nil
+	return e.priorAtPoint(q, e.weightTables(b)), nil
 }
 
 // BandwidthKey renders a bandwidth vector as a canonical cache key,
@@ -143,72 +249,13 @@ func BandwidthKey(b []float64) string {
 	return strings.Join(parts, ",")
 }
 
-// weightTables returns the memoized per-attribute weight tables for a
-// bandwidth vector. Tables are immutable once published; concurrent
-// first calls may both compute, but the first to store wins and both
-// computations are identical.
-func (e *Estimator) weightTables(b []float64) [][][]float64 {
-	key := BandwidthKey(b)
-	e.wmu.Lock()
-	if e.wcache == nil {
-		e.wcache = map[string][][][]float64{}
-	}
-	if w, ok := e.wcache[key]; ok {
-		e.wmu.Unlock()
-		return w
-	}
-	e.wmu.Unlock()
-
-	w := make([][][]float64, len(e.Matrices))
-	for i, m := range e.Matrices {
-		w[i] = WeightTable(e.Kernel, m, b[i])
-	}
-
-	e.wmu.Lock()
-	if prev, ok := e.wcache[key]; ok {
-		w = prev
-	} else {
-		e.wcache[key] = w
-	}
-	e.wmu.Unlock()
-	return w
-}
-
-// priorForProfile runs the Nadaraya–Watson sum for one QI point.
-// When every kernel weight vanishes (possible for a query point far
-// from all data under compact kernels) it falls back to the whole-table
-// distribution — the weakest consistent prior.
-func (e *Estimator) priorForProfile(p *dataset.Profile, weights [][][]float64, m int) prob.Dist {
-	acc := make(prob.Dist, m)
-	denom := 0.0
-	d := len(p.QI)
-	for _, u := range e.profiles {
-		w := float64(u.Weight())
-		for i := 0; i < d; i++ {
-			w *= weights[i][p.QI[i]][u.QI[i]]
-			if w == 0 {
-				break
-			}
-		}
-		if w == 0 {
-			continue
-		}
-		denom += w
-		scale := w / float64(u.Weight())
-		for si, c := range u.Counts {
-			if c != 0 {
-				acc[si] += scale * float64(c)
-			}
-		}
-	}
-	if denom == 0 {
-		counts := e.Table.SensitiveCounts(nil)
-		return prob.FromCounts(counts)
-	}
-	for i := range acc {
-		acc[i] /= denom
-	}
-	return acc
+// weightTables returns the memoized flat weight tables for a bandwidth
+// vector, computing them exactly once per bandwidth across all callers.
+func (e *Estimator) weightTables(b []float64) *flatTables {
+	ft, _ := e.wmemo.Do(BandwidthKey(b), func() (*flatTables, error) {
+		return e.buildFlat(b), nil
+	})
+	return ft
 }
 
 // WholeTableDist returns the sensitive distribution of the entire

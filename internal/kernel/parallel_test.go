@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/adult"
+	"repro/internal/prob"
 )
 
 // TestProfilePriorsDeterministicAcrossWorkers checks prior estimation
@@ -36,6 +37,55 @@ func TestProfilePriorsDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestProfilePriorsBatchDeterministic checks the fused sweep pass is
+// bit-identical to independent single-bandwidth passes, at any pool
+// size: the batch shares loads and indexing across the grid but keeps
+// each (bandwidth, profile) accumulation in the fixed sequential order.
+func TestProfilePriorsBatchDeterministic(t *testing.T) {
+	tab := adult.Generate(300, 11)
+	d := tab.Schema.D()
+	bvecs := [][]float64{
+		UniformBandwidth(d, 0.2),
+		UniformBandwidth(d, 0.3),
+		UniformBandwidth(d, 0.45),
+	}
+	seq, err := NewEstimator(tab, adult.Hierarchies(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.Workers = -1
+	want := make([][]prob.Dist, len(bvecs))
+	for k, b := range bvecs {
+		if want[k], err = seq.ProfilePriors(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{-1, 2, 0} {
+		e, err := NewEstimator(tab, adult.Hierarchies(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Workers = workers
+		got, err := e.ProfilePriorsBatch(bvecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(bvecs) {
+			t.Fatalf("workers=%d: %d results for %d bandwidths", workers, len(got), len(bvecs))
+		}
+		for k := range bvecs {
+			for pi := range got[k] {
+				for si, v := range got[k][pi] {
+					if v != want[k][pi][si] {
+						t.Fatalf("workers=%d bandwidth %d profile %d component %d: batch %v != single %v",
+							workers, k, pi, si, v, want[k][pi][si])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestWeightTablesMemoized checks the per-bandwidth weight tables are
 // computed once and shared: a repeated bandwidth returns the cached
 // tables, and a different bandwidth gets its own entry.
@@ -48,21 +98,18 @@ func TestWeightTablesMemoized(t *testing.T) {
 	b1 := UniformBandwidth(tab.Schema.D(), 0.3)
 	w1 := e.weightTables(b1)
 	w2 := e.weightTables(b1)
-	if &w1[0] != &w2[0] {
-		t.Error("repeated bandwidth recomputed the weight tables instead of hitting the cache")
+	if w1 != w2 {
+		t.Error("repeated bandwidth recomputed the weight tables instead of hitting the memo")
 	}
 	w3 := e.weightTables(UniformBandwidth(tab.Schema.D(), 0.5))
-	if &w1[0] == &w3[0] {
-		t.Error("distinct bandwidths shared one cache entry")
-	}
-	if len(e.wcache) != 2 {
-		t.Errorf("cache holds %d entries, want 2", len(e.wcache))
+	if w1 == w3 {
+		t.Error("distinct bandwidths shared one memo entry")
 	}
 }
 
-// TestWeightTablesConcurrentFirstUse hammers the cache from many
-// goroutines on a cold key; the race detector guards the locking
-// discipline and every caller must see a usable table.
+// TestWeightTablesConcurrentFirstUse hammers the memo from many
+// goroutines on a cold key; parallel.Memo must run the build exactly
+// once, so every caller sees the same table set.
 func TestWeightTablesConcurrentFirstUse(t *testing.T) {
 	tab := adult.Generate(100, 11)
 	e, err := NewEstimator(tab, adult.Hierarchies(), nil)
@@ -70,15 +117,14 @@ func TestWeightTablesConcurrentFirstUse(t *testing.T) {
 		t.Fatal(err)
 	}
 	b := UniformBandwidth(tab.Schema.D(), 0.4)
-	done := make(chan [][][]float64, 16)
+	done := make(chan *flatTables, 16)
 	for i := 0; i < 16; i++ {
 		go func() { done <- e.weightTables(b) }()
 	}
 	want := <-done
 	for i := 1; i < 16; i++ {
-		got := <-done
-		if !reflect.DeepEqual(got, want) {
-			t.Fatal("concurrent first-use calls returned different tables")
+		if got := <-done; got != want {
+			t.Fatal("concurrent first-use calls returned different table sets")
 		}
 	}
 }

@@ -14,7 +14,9 @@
 //	POST /v1/anonymize       anonymize a dataset, returning a release handle
 //	                         ("async": true → 202 + job handle instead)
 //	POST /v1/attack          background-knowledge attack against a release
+//	                         ("bprimes": [..] → amortized bandwidth sweep)
 //	POST /v1/risk            worst-case disclosure risk of a release
+//	                         (accepts the same "bprimes" sweep form)
 //	GET  /v1/releases/{id}   release metadata
 //	GET  /v1/jobs/{id}       async anonymize job status
 //	GET  /healthz            liveness
@@ -189,10 +191,33 @@ type AnonymizeResponse struct {
 // AttackRequest simulates adversary Adv(b') against a stored release.
 // BPrime is a pointer so that an explicitly supplied 0 — outside the
 // valid (0, 1] range — is distinguishable from an omitted field and is
-// rejected rather than silently replaced by the default.
+// rejected rather than silently replaced by the default. BPrimes is
+// the sweep form: a grid of adversary bandwidths evaluated in one
+// amortized pass (core.Engine.AttackSweep), returning per-bandwidth
+// results in one response. Exactly one of the two forms may be used.
 type AttackRequest struct {
-	Release string   `json:"release"`
-	BPrime  *float64 `json:"bprime"` // default 0.3 when omitted
+	Release string    `json:"release"`
+	BPrime  *float64  `json:"bprime"`            // default 0.3 when omitted
+	BPrimes []float64 `json:"bprimes,omitempty"` // sweep form, max MaxSweepPoints
+}
+
+// MaxSweepPoints caps the bprimes grid of one attack/risk request: a
+// sweep shares one fused kernel pass, but each point still pays its own
+// posterior inference, so an unbounded grid would be a cheap way to
+// pin the pool.
+const MaxSweepPoints = 64
+
+// AttackSweepResponse is the bprimes form of POST /v1/attack: one
+// AttackResponse per requested bandwidth, in request order.
+type AttackSweepResponse struct {
+	Release string           `json:"release"`
+	Sweep   []AttackResponse `json:"sweep"`
+}
+
+// RiskSweepResponse is the bprimes form of POST /v1/risk.
+type RiskSweepResponse struct {
+	Release string         `json:"release"`
+	Sweep   []RiskResponse `json:"sweep"`
 }
 
 // AttackResponse reports the attack outcome: breach count under the

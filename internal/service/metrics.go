@@ -83,6 +83,9 @@ type Metrics struct {
 	StoreMisses    expvar.Int // requests that ran the computation
 	StoreEvictions expvar.Int // LRU evictions
 
+	SweepRequests expvar.Int // attack/risk requests using the bprimes form
+	SweepPoints   expvar.Int // bandwidth points served through sweeps
+
 	JobsSubmitted expvar.Int // async jobs enqueued
 	JobsDeduped   expvar.Int // submissions collapsed into an active job
 	JobsRunning   expvar.Int // jobs currently executing (gauge)
@@ -146,6 +149,15 @@ type StoreStats struct {
 	Datasets  int   `json:"datasets"`
 }
 
+// SweepStats is the bandwidth-sweep section of a snapshot. The
+// amortization a deployment gets from the bprimes form is
+// Points/Requests: how many attack evaluations ride on each request's
+// single fused kernel pass.
+type SweepStats struct {
+	Requests int64 `json:"requests"`
+	Points   int64 `json:"points"`
+}
+
 // JobStats is the async-job section of a snapshot.
 type JobStats struct {
 	Submitted int64 `json:"submitted"`
@@ -173,6 +185,7 @@ type Snapshot struct {
 	PipelineRuns  int64                    `json:"pipeline_runs"`
 	DatasetBuilds int64                    `json:"dataset_builds"`
 	Store         StoreStats               `json:"store"`
+	Sweeps        SweepStats               `json:"sweeps"`
 	Jobs          JobStats                 `json:"jobs"`
 	Persist       PersistStats             `json:"persist"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
@@ -194,6 +207,10 @@ func (m *Metrics) snapshot(releases, datasets, pendingJobs int) Snapshot {
 			Evictions: m.StoreEvictions.Value(),
 			Releases:  releases,
 			Datasets:  datasets,
+		},
+		Sweeps: SweepStats{
+			Requests: m.SweepRequests.Value(),
+			Points:   m.SweepPoints.Value(),
 		},
 		Jobs: JobStats{
 			Submitted: m.JobsSubmitted.Value(),

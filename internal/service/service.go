@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -124,6 +125,10 @@ type Server struct {
 	// expensive artifact — so repeated sequential attacks recompute on
 	// the warm engine.
 	attacks parallel.Group[*AttackResponse]
+	// sweeps dedups concurrent identical bandwidth sweeps, keyed on the
+	// normalized (sorted, deduplicated) grid so permutations of the
+	// same bprimes collapse into one amortized pass.
+	sweeps parallel.Group[map[float64]*AttackResponse]
 	// dsRecover and relRecover dedup concurrent disk recoveries so a
 	// thundering herd after a restart rebuilds each engine once.
 	dsRecover  parallel.Group[*datasetEntry]
@@ -646,6 +651,45 @@ func breachModelFor(model string) core.Model {
 	return core.BTPrivacy
 }
 
+// attackResponse folds one attack report into its response body:
+// breach count plus the risk-profile quantiles.
+func attackResponse(entry *releaseEntry, bprime float64, rep *core.AttackReport) *AttackResponse {
+	risks := append([]float64(nil), rep.Risks...)
+	sort.Float64s(risks)
+	mean := 0.0
+	for _, v := range risks {
+		mean += v
+	}
+	mean /= float64(len(risks))
+	// Ceil nearest-rank, matching latencyRing.quantiles: the q-quantile
+	// is the smallest risk with at least a q fraction of records at or
+	// below it (the truncating form reported ~p98.9 as "p99").
+	q := func(p float64) float64 {
+		idx := int(math.Ceil(p*float64(len(risks)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return risks[idx]
+	}
+	return &AttackResponse{
+		Release:    entry.id,
+		BPrime:     bprime,
+		Records:    len(risks),
+		Vulnerable: rep.Vulnerable,
+		MeanRisk:   mean,
+		P50Risk:    q(0.50),
+		P90Risk:    q(0.90),
+		P99Risk:    q(0.99),
+		WorstRisk:  rep.WorstRisk,
+	}
+}
+
+// breachFor rebuilds the criterion attacks test a release against.
+func breachFor(entry *releaseEntry) core.Breach {
+	params := core.Params{K: entry.req.K, L: entry.req.L, T: entry.req.T, B: entry.req.B}
+	return entry.ds.engine.BreachTest(entry.breachModel, params)
+}
+
 // computeAttack runs (or joins) one attack evaluation: adversary
 // Adv(b') against the stored release, breached under the release's own
 // criterion. Classes fan out on the dataset's shared pool; the
@@ -654,67 +698,144 @@ func (s *Server) computeAttack(entry *releaseEntry, bprime float64) (*AttackResp
 	key := entry.id + "|b'=" + strconv.FormatFloat(bprime, 'g', -1, 64)
 	resp, _, err := s.attacks.Do(key, func() (*AttackResponse, error) {
 		eng := entry.ds.engine
-		params := core.Params{K: entry.req.K, L: entry.req.L, T: entry.req.T, B: entry.req.B}
 		bvec := kernel.UniformBandwidth(entry.ds.table.Schema.D(), bprime)
-		rep, err := eng.Attack(entry.res, bvec, entry.req.T, eng.BreachTest(entry.breachModel, params))
+		rep, err := eng.Attack(entry.res, bvec, entry.req.T, breachFor(entry))
 		if err != nil {
 			return nil, err
 		}
-		risks := append([]float64(nil), rep.Risks...)
-		sort.Float64s(risks)
-		mean := 0.0
-		for _, v := range risks {
-			mean += v
-		}
-		mean /= float64(len(risks))
-		q := func(p float64) float64 { return risks[int(p*float64(len(risks)-1))] }
-		return &AttackResponse{
-			Release:    entry.id,
-			BPrime:     bprime,
-			Records:    len(risks),
-			Vulnerable: rep.Vulnerable,
-			MeanRisk:   mean,
-			P50Risk:    q(0.50),
-			P90Risk:    q(0.90),
-			P99Risk:    q(0.99),
-			WorstRisk:  rep.WorstRisk,
-		}, nil
+		return attackResponse(entry, bprime, rep), nil
 	})
 	return resp, err
 }
 
-// getRelease resolves an attack/risk request body to a stored release.
-// bprime defaults to 0.3 only when the field is absent: an explicit
-// out-of-range value — zero included — is rejected, with the check and
-// the message agreeing on the valid (0, 1] range.
-func (s *Server) getRelease(w http.ResponseWriter, r *http.Request) (*releaseEntry, float64, bool) {
+// computeSweep runs (or joins) one amortized bandwidth sweep against a
+// stored release. The singleflight key is the normalized grid — sorted
+// and deduplicated — so concurrent sweeps that permute or repeat the
+// same bandwidths share one engine pass; per-bandwidth results are
+// bit-identical to single-bprime attacks (the engine's AttackSweep
+// guarantee, pinned by the HTTP tests). The return maps each distinct
+// bandwidth to its response; callers assemble request order from it.
+func (s *Server) computeSweep(entry *releaseEntry, bprimes []float64) (map[float64]*AttackResponse, error) {
+	norm := normalizeGrid(bprimes)
+	parts := make([]string, len(norm))
+	for i, bp := range norm {
+		parts[i] = strconv.FormatFloat(bp, 'g', -1, 64)
+	}
+	key := entry.id + "|sweep=" + strings.Join(parts, ",")
+	results, _, err := s.sweeps.Do(key, func() (map[float64]*AttackResponse, error) {
+		eng := entry.ds.engine
+		d := entry.ds.table.Schema.D()
+		bvecs := make([][]float64, len(norm))
+		for i, bp := range norm {
+			bvecs[i] = kernel.UniformBandwidth(d, bp)
+		}
+		reps, err := eng.AttackSweep(entry.res, bvecs, entry.req.T, breachFor(entry))
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[float64]*AttackResponse, len(norm))
+		for i, bp := range norm {
+			out[bp] = attackResponse(entry, bp, reps[i])
+		}
+		return out, nil
+	})
+	return results, err
+}
+
+// normalizeGrid returns the sorted, deduplicated form of a bprimes
+// grid — the canonical key of the sweep it denotes.
+func normalizeGrid(bprimes []float64) []float64 {
+	norm := append([]float64(nil), bprimes...)
+	sort.Float64s(norm)
+	out := norm[:0]
+	for i, bp := range norm {
+		if i == 0 || bp != norm[i-1] {
+			out = append(out, bp)
+		}
+	}
+	return out
+}
+
+// getRelease resolves an attack/risk request body to a stored release
+// plus the bandwidth grid to evaluate: one entry for the single-bprime
+// form (defaulting to 0.3 only when the field is absent), the
+// validated request-order grid for the bprimes sweep form. sweep
+// reports which form was used. An explicit out-of-range value — zero
+// included — is rejected, with the check and the message agreeing on
+// the valid (0, 1] range.
+func (s *Server) getRelease(w http.ResponseWriter, r *http.Request) (entry *releaseEntry, bprimes []float64, sweep, ok bool) {
 	var req AttackRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeBodyErr(w, "decoding request", err)
-		return nil, 0, false
+		return nil, nil, false, false
 	}
-	bprime := 0.3
-	if req.BPrime != nil {
-		bprime = *req.BPrime
+	switch {
+	case req.BPrimes != nil:
+		if req.BPrime != nil {
+			writeErr(w, http.StatusBadRequest, "bprime and bprimes are mutually exclusive")
+			return nil, nil, false, false
+		}
+		if len(req.BPrimes) == 0 {
+			writeErr(w, http.StatusBadRequest, "bprimes must name at least one bandwidth")
+			return nil, nil, false, false
+		}
+		if len(req.BPrimes) > MaxSweepPoints {
+			writeErr(w, http.StatusBadRequest, "bprimes has %d points (max %d)", len(req.BPrimes), MaxSweepPoints)
+			return nil, nil, false, false
+		}
+		bprimes = req.BPrimes
+		sweep = true
+	case req.BPrime != nil:
+		bprimes = []float64{*req.BPrime}
+	default:
+		bprimes = []float64{0.3}
 	}
-	if bprime <= 0 || bprime > 1 {
-		writeErr(w, http.StatusBadRequest, "bprime must be in (0, 1] (got %g)", bprime)
-		return nil, 0, false
+	for _, bp := range bprimes {
+		if bp <= 0 || bp > 1 {
+			writeErr(w, http.StatusBadRequest, "bprime must be in (0, 1] (got %g)", bp)
+			return nil, nil, false, false
+		}
 	}
-	entry, ok := s.resolveRelease(req.Release)
-	if !ok {
+	entry, found := s.resolveRelease(req.Release)
+	if !found {
 		writeErr(w, http.StatusNotFound, "unknown release %q", req.Release)
-		return nil, 0, false
+		return nil, nil, false, false
 	}
-	return entry, bprime, true
+	return entry, bprimes, sweep, true
+}
+
+// sweepResponses runs the amortized sweep and assembles per-bandwidth
+// responses in request order, counting the sweep's amortization into
+// the metrics ledger.
+func (s *Server) sweepResponses(entry *releaseEntry, bprimes []float64) ([]AttackResponse, error) {
+	s.metrics.SweepRequests.Add(1)
+	s.metrics.SweepPoints.Add(int64(len(bprimes)))
+	results, err := s.computeSweep(entry, bprimes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AttackResponse, len(bprimes))
+	for i, bp := range bprimes {
+		out[i] = *results[bp]
+	}
+	return out, nil
 }
 
 func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
-	entry, bprime, ok := s.getRelease(w, r)
+	entry, bprimes, sweep, ok := s.getRelease(w, r)
 	if !ok {
 		return
 	}
-	resp, err := s.computeAttack(entry, bprime)
+	if sweep {
+		results, err := s.sweepResponses(entry, bprimes)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "attacking: %v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, AttackSweepResponse{Release: entry.id, Sweep: results})
+		return
+	}
+	resp, err := s.computeAttack(entry, bprimes[0])
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "attacking: %v", err)
 		return
@@ -723,11 +844,24 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
-	entry, bprime, ok := s.getRelease(w, r)
+	entry, bprimes, sweep, ok := s.getRelease(w, r)
 	if !ok {
 		return
 	}
-	resp, err := s.computeAttack(entry, bprime)
+	if sweep {
+		results, err := s.sweepResponses(entry, bprimes)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "evaluating risk: %v", err)
+			return
+		}
+		resp := RiskSweepResponse{Release: entry.id, Sweep: make([]RiskResponse, len(results))}
+		for i, ar := range results {
+			resp.Sweep[i] = RiskResponse{Release: ar.Release, BPrime: ar.BPrime, WorstRisk: ar.WorstRisk}
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	resp, err := s.computeAttack(entry, bprimes[0])
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "evaluating risk: %v", err)
 		return

@@ -1,0 +1,34 @@
+#!/bin/sh
+# bench.sh — run the benchmark suite and render it as BENCH JSON.
+#
+# usage: bench.sh [OUT] [BASELINE]
+#
+#   OUT       output file (default BENCH_5.json)
+#   BASELINE  earlier BENCH_*.json to diff against (optional); when
+#             given, the output carries per-benchmark speedup and
+#             alloc-ratio deltas alongside the raw numbers.
+#
+# The kernel microbenchmarks (BenchmarkPriorEstimation,
+# BenchmarkFig4bKernel, BenchmarkAttackSweep) pin their estimators to
+# one worker internally, so their ns/op is the sequential per-pass cost
+# regardless of GOMAXPROCS; the *Parallel pairs measure the pool.
+# BENCHTIME trades precision for runtime (default 1s; CI smoke uses
+# `make bench` with 1x instead — this script is for recording numbers).
+set -e
+
+GO="${GO:-go}"
+OUT="${1:-BENCH_5.json}"
+BASELINE="${2:-}"
+BENCHTIME="${BENCHTIME:-1s}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+"$GO" test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . | tee "$tmp" >&2
+
+if [ -n "$BASELINE" ]; then
+	"$GO" run ./scripts/benchjson -baseline "$BASELINE" <"$tmp" >"$OUT"
+else
+	"$GO" run ./scripts/benchjson <"$tmp" >"$OUT"
+fi
+echo "wrote $OUT" >&2

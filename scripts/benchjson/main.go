@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench -benchmem` output on
+// stdin into the BENCH_*.json format: benchmark name → ns/op, B/op,
+// allocs/op. With -baseline pointing at an earlier BENCH_*.json it
+// also emits per-benchmark deltas (speedup = baseline ns/op ÷ current,
+// alloc_ratio likewise), and it derives the AttackSweep amortization
+// ratio (sweep8 ÷ independent8) whenever both entries are present —
+// the three quantities the PR-5 acceptance criteria pin.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./scripts/benchjson [-baseline BENCH_4.json] > BENCH_5.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements.
+type Result struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+}
+
+// Delta compares a benchmark against its baseline run.
+type Delta struct {
+	Speedup    float64 `json:"speedup"`               // baseline ns/op ÷ current ns/op
+	AllocRatio float64 `json:"alloc_ratio,omitempty"` // baseline allocs/op ÷ current allocs/op
+}
+
+// File is the BENCH_*.json document.
+type File struct {
+	Go         string             `json:"go"`
+	Benchmarks map[string]Result  `json:"benchmarks"`
+	Baseline   map[string]Result  `json:"baseline,omitempty"`
+	Deltas     map[string]Delta   `json:"deltas,omitempty"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "", "earlier BENCH_*.json to diff against")
+	flag.Parse()
+
+	out := File{Go: runtime.Version(), Benchmarks: map[string]Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		name, res, ok := parseLine(sc.Text())
+		if ok {
+			out.Benchmarks[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(out.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	if *baselinePath != "" {
+		doc, err := os.ReadFile(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		var base File
+		if err := json.Unmarshal(doc, &base); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *baselinePath, err))
+		}
+		out.Baseline = base.Benchmarks
+		out.Deltas = map[string]Delta{}
+		for name, cur := range out.Benchmarks {
+			b, ok := base.Benchmarks[name]
+			if !ok || cur.NsOp == 0 {
+				continue
+			}
+			d := Delta{Speedup: round(b.NsOp / cur.NsOp)}
+			if cur.AllocsOp > 0 && b.AllocsOp > 0 {
+				d.AllocRatio = round(b.AllocsOp / cur.AllocsOp)
+			}
+			out.Deltas[name] = d
+		}
+	}
+
+	// The sweep-amortization ratio: one 8-point AttackSweep vs eight
+	// independent Attack calls, from the same run.
+	if sw, ok := out.Benchmarks["BenchmarkAttackSweep/sweep8"]; ok {
+		if ind, ok := out.Benchmarks["BenchmarkAttackSweep/independent8"]; ok && ind.NsOp > 0 {
+			out.Derived = map[string]float64{"attack_sweep_vs_independent": round(sw.NsOp / ind.NsOp)}
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+// parseLine decodes one `Benchmark...` result line; benchmem columns
+// are optional. The `-<procs>` suffix go test appends to every name
+// (except at GOMAXPROCS=1) is stripped, so runs from machines with
+// different core counts diff against each other.
+func parseLine(line string) (string, Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", Result{}, false
+	}
+	fields := strings.Fields(line)
+	// name, iterations, value, "ns/op", [value, "B/op", value, "allocs/op"]
+	if len(fields) < 4 {
+		return "", Result{}, false
+	}
+	if i := strings.LastIndexByte(fields[0], '-'); i > 0 {
+		if _, err := strconv.Atoi(fields[0][i+1:]); err == nil {
+			fields[0] = fields[0][:i]
+		}
+	}
+	var res Result
+	got := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsOp, got = v, true
+		case "B/op":
+			res.BOp = v
+		case "allocs/op":
+			res.AllocsOp = v
+		}
+	}
+	if !got {
+		return "", Result{}, false
+	}
+	return fields[0], res, true
+}
+
+// round trims a ratio to two decimals for stable, readable diffs.
+func round(v float64) float64 {
+	return float64(int(v*100+0.5)) / 100
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
