@@ -1,16 +1,18 @@
 # CI entry points. `make ci` is what every change must keep green:
-# gofmt enforcement, vet, build, the full test suite under the race
-# detector (the parallel engine's and the job queue's safety net), one
-# pass over every benchmark so the bench targets cannot rot, a short
-# fuzz smoke over the untrusted-input decoders (CSV rows, JSON schema
-# specs), and the serve-restart smoke (boot, ingest, kill, reboot,
-# verify byte-identical disk recovery with zero pipeline runs).
+# gofmt enforcement, vet, the detlint invariant suite (determinism,
+# concurrency, and hot-path analyzers under internal/analysis), build,
+# the full test suite under the race detector (the parallel engine's
+# and the job queue's safety net), one pass over every benchmark so
+# the bench targets cannot rot, a short fuzz smoke over the
+# untrusted-input decoders (CSV rows, JSON schema specs), and the
+# serve-restart smoke (boot, ingest, kill, reboot, verify
+# byte-identical disk recovery with zero pipeline runs).
 
 GO ?= go
 
-.PHONY: ci fmt vet build test race bench bench-json fuzz cover serve loadgen restart-smoke
+.PHONY: ci fmt vet lint build test race bench bench-json fuzz cover serve loadgen restart-smoke
 
-ci: fmt vet build race bench fuzz restart-smoke
+ci: fmt vet lint build race bench fuzz restart-smoke
 
 # gofmt -l as a check: fails listing any file that needs formatting.
 fmt:
@@ -19,6 +21,15 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# detlint: the repo's own go vet -vettool-style pass (a standalone
+# driver, since x/tools isn't vendored in this offline tree). Builds
+# incrementally via the go build cache; DETLINT_FLAGS passes extras
+# (e.g. -md detlint.md for a CI step summary).
+DETLINT_FLAGS ?=
+lint:
+	$(GO) build -o bin/detlint ./cmd/detlint
+	./bin/detlint $(DETLINT_FLAGS) ./...
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,197 @@
+// Command detlint runs the repo's invariant analyzers — the
+// determinism, concurrency, and hot-path checks under
+// internal/analysis — over the module, in the spirit of a
+// go vet -vettool pass. The offline tree cannot vendor the x/tools
+// vet driver, so detlint carries its own loader (go list -export plus
+// go/types) and multichecker loop; diagnostics, package scoping, and
+// exit semantics match what a vettool would produce.
+//
+// Usage:
+//
+//	detlint [-md file] [packages]
+//
+// With no package patterns it analyzes ./... . Each analyzer applies
+// only to the packages where its invariant is load-bearing (see
+// scopes); findings print as file:line:col: [analyzer] message and any
+// finding makes the exit status 1. -md additionally writes a markdown
+// report for CI step summaries.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/canonjson"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/nakedgo"
+	"repro/internal/analysis/nondetsource"
+)
+
+// scope decides whether an analyzer applies to a package path.
+type scope func(pkgPath string) bool
+
+// scoped pairs an analyzer with the packages it patrols.
+type scoped struct {
+	analyzer *analysis.Analyzer
+	applies  scope
+}
+
+// pkgs scopes an analyzer to an explicit allowlist (each entry matches
+// itself and its subpackages).
+func pkgs(paths ...string) scope {
+	return func(p string) bool {
+		for _, allowed := range paths {
+			if p == allowed || strings.HasPrefix(p, allowed+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// allExcept scopes an analyzer to the whole module minus a denylist.
+func allExcept(paths ...string) scope {
+	deny := pkgs(paths...)
+	return func(p string) bool { return !deny(p) }
+}
+
+func everywhere(string) bool { return true }
+
+// suite is the scoping table: which invariant patrols which packages.
+//
+//   - maporder guards the packages whose outputs must be bit-identical
+//     or whose ids are content-derived;
+//   - nondetsource guards compute paths — the service and experiment
+//     edges legitimately read clocks, so they are out of scope;
+//   - nakedgo patrols everything except internal/parallel, the one
+//     package licensed to own goroutines and WaitGroups;
+//   - hotalloc runs everywhere but only fires inside //detlint:hotpath
+//     functions;
+//   - canonjson guards the id-derivation packages.
+var suite = []scoped{
+	{maporder.Analyzer, pkgs(
+		"repro/internal/anatomy",
+		"repro/internal/anonymize",
+		"repro/internal/core",
+		"repro/internal/dataset",
+		"repro/internal/inference",
+		"repro/internal/kernel",
+		"repro/internal/mondrian",
+		"repro/internal/schema",
+		"repro/internal/service",
+	)},
+	{nondetsource.Analyzer, pkgs(
+		"repro/internal/anatomy",
+		"repro/internal/anonymize",
+		"repro/internal/core",
+		"repro/internal/dataset",
+		"repro/internal/distance",
+		"repro/internal/hierarchy",
+		"repro/internal/inference",
+		"repro/internal/injector",
+		"repro/internal/kernel",
+		"repro/internal/mondrian",
+		"repro/internal/privacy",
+		"repro/internal/prob",
+		"repro/internal/schema",
+	)},
+	{nakedgo.Analyzer, allExcept("repro/internal/parallel")},
+	{hotalloc.Analyzer, everywhere},
+	{canonjson.Analyzer, pkgs(
+		"repro/internal/schema",
+		"repro/internal/service",
+	)},
+}
+
+func main() {
+	mdPath := flag.String("md", "", "write a markdown report (for CI step summaries) to this file")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: detlint [-md file] [packages]\n\nanalyzers:\n")
+		for _, s := range suite {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", s.analyzer.Name, s.analyzer.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loaded, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "detlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	var diags []analysis.Diagnostic
+	suppressed := 0
+	for _, pkg := range loaded {
+		for _, s := range suite {
+			if !s.applies(pkg.PkgPath) {
+				continue
+			}
+			pass := analysis.NewPass(s.analyzer, pkg)
+			if err := s.analyzer.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "detlint: %s: %s: %v\n", pkg.PkgPath, s.analyzer.Name, err)
+				os.Exit(2)
+			}
+			diags = append(diags, pass.Diagnostics()...)
+			suppressed += pass.Suppressed()
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	fmt.Printf("detlint: %d package(s), %d finding(s), %d suppressed by lint:ignore\n",
+		len(loaded), len(diags), suppressed)
+
+	if *mdPath != "" {
+		if err := writeMarkdown(*mdPath, len(loaded), suppressed, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "detlint: writing %s: %v\n", *mdPath, err)
+			os.Exit(2)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// writeMarkdown renders the findings as a table for CI step summaries.
+func writeMarkdown(path string, packages, suppressed int, diags []analysis.Diagnostic) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### detlint\n\n")
+	fmt.Fprintf(&b, "%d package(s) analyzed, **%d finding(s)**, %d suppressed by `lint:ignore`.\n\n",
+		packages, len(diags), suppressed)
+	if len(diags) == 0 {
+		b.WriteString("Clean: every determinism, concurrency, and hot-path invariant holds.\n")
+	} else {
+		b.WriteString("| Location | Analyzer | Finding |\n|---|---|---|\n")
+		for _, d := range diags {
+			fmt.Fprintf(&b, "| `%s:%d:%d` | %s | %s |\n",
+				d.Pos.Filename, d.Pos.Line, d.Pos.Column,
+				d.Analyzer, strings.ReplaceAll(d.Message, "|", "\\|"))
+		}
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}

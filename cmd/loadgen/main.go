@@ -43,12 +43,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"text/tabwriter"
 	"time"
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/service"
 )
 
@@ -233,41 +233,35 @@ func main() {
 	}
 	deadline := time.Now().Add(*duration)
 	samplesPerWorker := make([][]sample, *concurrency)
-	var wg sync.WaitGroup
 	fmt.Printf("running %d workers for %s (mix %s)\n", *concurrency, *duration, *mixSpec)
 	measureStart := time.Now()
-	for w := 0; w < *concurrency; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(*seed*1_000_003 + int64(w)))
-			var out []sample
-			for time.Now().Before(deadline) {
-				op := pick(rng, mix)
-				rel := releases[rng.Intn(len(releases))]
-				var err error
-				t0 := time.Now()
-				switch op {
-				case "anonymize":
-					if *asyncMode {
-						err = c.anonymizeAsync(rel.body)
-					} else {
-						_, err = c.postJSON("/v1/anonymize", rel.body, nil)
-					}
-				case "attack", "risk":
-					if *sweepMode {
-						_, err = c.postJSON("/v1/"+op, sweepBody(rel.id), nil)
-					} else {
-						bp := strconv.FormatFloat(bprimes[rng.Intn(len(bprimes))], 'g', -1, 64)
-						_, err = c.postJSON("/v1/"+op, fmt.Sprintf(`{"release":%q,"bprime":%s}`, rel.id, bp), nil)
-					}
+	parallel.For(*concurrency, *concurrency, func(w int) {
+		rng := rand.New(rand.NewSource(*seed*1_000_003 + int64(w)))
+		var out []sample
+		for time.Now().Before(deadline) {
+			op := pick(rng, mix)
+			rel := releases[rng.Intn(len(releases))]
+			var err error
+			t0 := time.Now()
+			switch op {
+			case "anonymize":
+				if *asyncMode {
+					err = c.anonymizeAsync(rel.body)
+				} else {
+					_, err = c.postJSON("/v1/anonymize", rel.body, nil)
 				}
-				out = append(out, sample{op: op, d: time.Since(t0), ok: err == nil})
+			case "attack", "risk":
+				if *sweepMode {
+					_, err = c.postJSON("/v1/"+op, sweepBody(rel.id), nil)
+				} else {
+					bp := strconv.FormatFloat(bprimes[rng.Intn(len(bprimes))], 'g', -1, 64)
+					_, err = c.postJSON("/v1/"+op, fmt.Sprintf(`{"release":%q,"bprime":%s}`, rel.id, bp), nil)
+				}
 			}
-			samplesPerWorker[w] = out
-		}(w)
-	}
-	wg.Wait()
+			out = append(out, sample{op: op, d: time.Since(t0), ok: err == nil})
+		}
+		samplesPerWorker[w] = out
+	})
 	elapsed := time.Since(measureStart)
 
 	report(samplesPerWorker, elapsed)

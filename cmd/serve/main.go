@@ -96,6 +96,7 @@ func main() {
 	defer stop()
 
 	errc := make(chan error, 1)
+	//lint:ignore nakedgo single listener goroutine feeding the shutdown select below; there is no fan-out to bound and net/http owns its lifetime
 	go func() { errc <- hs.ListenAndServe() }()
 	logger.Printf("listening on %s (workers=%d, releases=%d, datasets=%d, job-workers=%d)",
 		*addr, *workers, *releases, *datasets, *jobWorkers)

@@ -1,0 +1,159 @@
+// Package analysistest runs an analyzer over a fixture directory and
+// checks its diagnostics against `// want "regexp"` expectations, in
+// the manner of golang.org/x/tools/go/analysis/analysistest (which the
+// offline tree cannot vendor).
+//
+// Fixtures are plain .go files in a testdata directory — the go tool
+// ignores testdata, so fixtures may violate the very invariants the
+// analyzers enforce without tripping detlint or the build. Run copies
+// them into a throwaway module, loads it through the real loader, and
+// compares findings line by line:
+//
+//	for k := range m { // want `iteration order`
+//
+// Each backquoted or double-quoted string after `want` is a regexp
+// that must match one diagnostic on that line; lines without a want
+// comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var (
+	wantRe    = regexp.MustCompile("//\\s*want\\s+(.*)$")
+	patternRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+)
+
+// expectation is one `want` pattern awaiting a matching diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run copies the fixture directory into a temporary module, loads and
+// analyzes it, and reports any mismatch between diagnostics and want
+// expectations as test errors.
+func Run(t *testing.T, fixtureDir string, a *analysis.Analyzer) {
+	t.Helper()
+
+	tmp := t.TempDir()
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		t.Fatalf("reading fixtures: %v", err)
+	}
+	copied := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(fixtureDir, e.Name()))
+		if err != nil {
+			t.Fatalf("reading fixture %s: %v", e.Name(), err)
+		}
+		if err := os.WriteFile(filepath.Join(tmp, e.Name()), src, 0o644); err != nil {
+			t.Fatalf("writing fixture %s: %v", e.Name(), err)
+		}
+		copied++
+	}
+	if copied == 0 {
+		t.Fatalf("no .go fixtures in %s", fixtureDir)
+	}
+	gomod := "module fixture\n\ngo 1.21\n"
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatalf("writing go.mod: %v", err)
+	}
+
+	pkgs, err := analysis.Load(tmp, "./...")
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+
+	var diags []analysis.Diagnostic
+	var expectations []*expectation
+	for _, pkg := range pkgs {
+		pass := analysis.NewPass(a, pkg)
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: analyzer error: %v", pkg.PkgPath, err)
+		}
+		diags = append(diags, pass.Diagnostics()...)
+		exps, err := parseExpectations(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expectations = append(expectations, exps...)
+	}
+
+	for _, d := range diags {
+		if !claim(expectations, d) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+		}
+	}
+	for _, e := range expectations {
+		if !e.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation that covers d, returning
+// false when none does.
+func claim(expectations []*expectation, d analysis.Diagnostic) bool {
+	base := filepath.Base(d.Pos.Filename)
+	for _, e := range expectations {
+		if e.matched || e.file != base || e.line != d.Pos.Line {
+			continue
+		}
+		if e.pattern.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseExpectations collects the want patterns from a package's
+// comments.
+func parseExpectations(pkg *analysis.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				pats := patternRe.FindAllStringSubmatch(m[1], -1)
+				if pats == nil {
+					return nil, fmt.Errorf("%s:%d: malformed want comment: %s", pos.Filename, pos.Line, c.Text)
+				}
+				for _, p := range pats {
+					text := p[1]
+					if text == "" {
+						text = p[2]
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, text, err)
+					}
+					out = append(out, &expectation{
+						file:    filepath.Base(pos.Filename),
+						line:    pos.Line,
+						pattern: re,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+// Package canonjson flags json.Marshal (and MarshalIndent, and
+// (*json.Encoder).Encode) of values whose static type contains a map.
+// The repo derives content-addressed ids (sch_, ds_, rel_) by hashing
+// canonical JSON; encoding/json does sort map keys today, but that
+// ordering is an encoder implementation detail rather than a declared
+// canonical form, and custom MarshalJSON methods or a future encoder
+// swap would silently change every id in the corpus. Each such marshal
+// site must either restructure to slices of pairs or carry a reasoned
+// lint:ignore acknowledging the dependency.
+//
+// Arguments typed as interfaces (e.g. the any parameter of a generic
+// writeJSON helper) are skipped: the static type carries no map
+// information, and response encoding is not id derivation.
+package canonjson
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the canonjson pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "canonjson",
+	Doc:  "flags json.Marshal of map-containing values where key order is the only canonical form",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := analysis.Callee(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/json" {
+				return true
+			}
+			switch fn.Name() {
+			case "Marshal", "MarshalIndent", "Encode":
+			default:
+				return true
+			}
+			tv, ok := pass.Info.Types[call.Args[0]]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if path, found := findMap(tv.Type, "value", map[types.Type]bool{}); found {
+				pass.Reportf(call.Pos(), "json.%s of %s, which contains a map (%s) — key order is an encoder detail, not a declared canonical form; content ids must not depend on it",
+					fn.Name(), tv.Type, path)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findMap walks t looking for a map reachable through the fields the
+// encoder would serialize, returning a dotted path to the first one.
+func findMap(t types.Type, path string, seen map[types.Type]bool) (string, bool) {
+	if seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Map:
+		return path, true
+	case *types.Pointer:
+		return findMap(u.Elem(), path, seen)
+	case *types.Slice:
+		return findMap(u.Elem(), path+"[]", seen)
+	case *types.Array:
+		return findMap(u.Elem(), path+"[]", seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			field := u.Field(i)
+			if !field.Exported() {
+				continue // encoding/json skips unexported fields
+			}
+			if name, _ := reflect.StructTag(u.Tag(i)).Lookup("json"); name == "-" {
+				continue
+			}
+			if p, found := findMap(field.Type(), path+"."+field.Name(), seen); found {
+				return p, true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,12 @@
+package canonjson_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/canonjson"
+)
+
+func TestCanonjson(t *testing.T) {
+	analysistest.Run(t, "testdata", canonjson.Analyzer)
+}

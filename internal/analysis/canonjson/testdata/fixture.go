@@ -1,0 +1,70 @@
+// Package fixture exercises canonjson: marshaling a value whose static
+// type contains a map is flagged; map-free types and statically
+// unknowable any arguments are not.
+package fixture
+
+import (
+	"encoding/json"
+	"os"
+)
+
+type tagged struct {
+	Name string            `json:"name"`
+	Tags map[string]string `json:"tags"`
+}
+
+type nested struct {
+	Inner tagged `json:"inner"`
+}
+
+type skipped struct {
+	Name string            `json:"name"`
+	Tags map[string]string `json:"-"`
+}
+
+type clean struct {
+	Name string   `json:"name"`
+	IDs  []string `json:"ids"`
+}
+
+type selfRef struct {
+	Name     string     `json:"name"`
+	Children []*selfRef `json:"children"`
+}
+
+func marshalSites() {
+	m := map[string]int{}
+	_, _ = json.Marshal(m) // want `json.Marshal of map\[string\]int, which contains a map`
+
+	var v tagged
+	_, _ = json.Marshal(v) // want `contains a map \(value.Tags\)`
+
+	var n nested
+	_, _ = json.Marshal(&n) // want `contains a map \(value.Inner.Tags\)`
+
+	_, _ = json.MarshalIndent(v, "", "  ") // want `json.MarshalIndent of fixture.tagged`
+
+	enc := json.NewEncoder(os.Stdout)
+	_ = enc.Encode(v) // want `json.Encode of fixture.tagged`
+
+	var s skipped
+	_, _ = json.Marshal(s) // json:"-" fields are never encoded
+
+	var c clean
+	_, _ = json.Marshal(c) // map-free: conforming
+
+	var r selfRef
+	_, _ = json.Marshal(r) // recursive but map-free: conforming
+}
+
+// anyTyped mirrors a generic writeJSON helper: the static type carries
+// no map information, so the site is not flagged.
+func anyTyped(v any) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+// suppressed demonstrates the lint:ignore path.
+func suppressed(m map[string]int) ([]byte, error) {
+	//lint:ignore canonjson fixture demonstrates a reasoned suppression
+	return json.Marshal(m)
+}

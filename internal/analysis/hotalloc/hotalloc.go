@@ -1,0 +1,201 @@
+// Package hotalloc enforces allocation discipline inside code marked
+// //detlint:hotpath (function doc comment marks the function, a
+// comment above the package clause marks the whole file). In marked
+// functions it flags, inside any loop:
+//
+//   - append to a variable with no visible make(..., len, cap)
+//     preallocation in the same function — per-iteration growth;
+//   - function literals — closure captures escape to the heap on
+//     every iteration;
+//   - interface boxing — passing or converting a concrete value to an
+//     interface, which allocates unless the escape analysis gets
+//     lucky.
+//
+// The kernel's benchmarks pin steady-state allocations at zero; this
+// analyzer turns that benchmark's contract into a compile-time check
+// for the paths that carry the marker.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags per-iteration allocation in //detlint:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		fileHot := analysis.FileHasHotpathMarker(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fileHot || analysis.FuncHasHotpathMarker(fd) {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// span is a half-open position interval.
+type span struct{ lo, hi token.Pos }
+
+func (s span) contains(p token.Pos) bool { return p >= s.lo && p < s.hi }
+
+// checkFunc flags per-iteration allocation inside fd's loops.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// First pass: loop-body extents and the set of variables that are
+	// visibly preallocated via make with an explicit size in this
+	// function (make with 2+ args: either a capacity, or a length the
+	// code then grows from — both count as a considered choice).
+	var loops []span
+	prealloc := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+		case *ast.RangeStmt:
+			loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				call, ok := analysis.Unparen(rhs).(*ast.CallExpr)
+				if !ok || len(call.Args) < 2 {
+					continue
+				}
+				if name, ok := analysis.BuiltinName(pass.Info, call); !ok || name != "make" {
+					continue
+				}
+				if id, ok := analysis.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+					if obj := pass.Info.ObjectOf(id); obj != nil {
+						prealloc[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	inLoop := func(p token.Pos) bool {
+		for _, s := range loops {
+			if s.contains(p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Second pass: flag allocation shapes whose position falls inside
+	// any loop body.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if inLoop(n.Pos()) {
+				pass.Reportf(n.Pos(), "closure literal inside a hot loop — its captures escape to the heap every iteration; hoist it out of the loop")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				call, ok := analysis.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !inLoop(call.Pos()) {
+					continue
+				}
+				if name, ok := analysis.BuiltinName(pass.Info, call); !ok || name != "append" {
+					continue
+				}
+				id, ok := analysis.Unparen(n.Lhs[i]).(*ast.Ident)
+				if !ok {
+					pass.Reportf(call.Pos(), "append inside a hot loop with no visible preallocation — growth reallocates per iteration; size the buffer before the loop")
+					continue
+				}
+				if obj := pass.Info.ObjectOf(id); obj != nil && !prealloc[obj] {
+					pass.Reportf(call.Pos(), "append to %q inside a hot loop with no visible preallocation — growth reallocates per iteration; make(..., 0, n) it before the loop", id.Name)
+				}
+			}
+		case *ast.CallExpr:
+			if !inLoop(n.Pos()) {
+				return true
+			}
+			checkBoxing(pass, n)
+		}
+		return true
+	})
+}
+
+// checkBoxing flags arguments boxed into interface parameters and
+// explicit conversions to interface types.
+func checkBoxing(pass *analysis.Pass, call *ast.CallExpr) {
+	if analysis.IsConversion(pass.Info, call) {
+		if len(call.Args) == 1 && isIface(pass.Info.Types[call.Fun].Type) && boxes(pass.Info, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to interface inside a hot loop boxes its operand onto the heap")
+		}
+		return
+	}
+	if _, ok := analysis.BuiltinName(pass.Info, call); ok {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if isIface(pt) && boxes(pass.Info, arg) {
+			pass.Reportf(arg.Pos(), "argument boxes into interface parameter inside a hot loop — each iteration allocates; keep hot-path signatures concrete")
+		}
+	}
+}
+
+// boxes reports whether passing arg to an interface parameter
+// allocates: true for concrete non-interface values, false for values
+// already behind an interface, nil, and type parameters.
+func boxes(info *types.Info, arg ast.Expr) bool {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	if isIface(tv.Type) {
+		return false
+	}
+	if _, ok := tv.Type.(*types.TypeParam); ok {
+		return false
+	}
+	return true
+}
+
+func isIface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}

@@ -1,0 +1,23 @@
+// This file carries a file-level hotpath marker: every function in it
+// is checked without per-function annotations.
+//
+//detlint:hotpath
+package fixture
+
+// fileHotGrow is hot by virtue of the file marker alone.
+func fileHotGrow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append to "out" inside a hot loop with no visible preallocation`
+	}
+	return out
+}
+
+// fileHotOK preallocates: conforming even under the file marker.
+func fileHotOK(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+// Package fixture exercises hotalloc's function-level marker: only
+// functions whose doc comment carries //detlint:hotpath are checked.
+package fixture
+
+func sink(v any) {}
+
+// hotGrow appends without preallocation.
+//
+//detlint:hotpath
+func hotGrow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want `append to "out" inside a hot loop with no visible preallocation`
+	}
+	return out
+}
+
+// hotPrealloc sizes its buffer first: conforming.
+//
+//detlint:hotpath
+func hotPrealloc(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// hotClosure allocates a closure every iteration.
+//
+//detlint:hotpath
+func hotClosure(xs []int) []func() int {
+	fns := make([]func() int, 0, len(xs))
+	for _, x := range xs {
+		x := x
+		fns = append(fns, func() int { return x }) // want `closure literal inside a hot loop`
+	}
+	return fns
+}
+
+// hotBoxing passes a concrete int to an any parameter per iteration.
+//
+//detlint:hotpath
+func hotBoxing(xs []int) {
+	for _, x := range xs {
+		sink(x) // want `argument boxes into interface parameter`
+	}
+}
+
+// hotVariadicSpread forwards an existing slice: no per-element boxing.
+//
+//detlint:hotpath
+func hotVariadicSpread(xs [][]any) {
+	for _, args := range xs {
+		variadicSink(args...)
+	}
+}
+
+func variadicSink(vs ...any) {}
+
+// coldGrow is unmarked: the same body produces no findings.
+func coldGrow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// hotSuppressed demonstrates the lint:ignore path.
+//
+//detlint:hotpath
+func hotSuppressed(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		//lint:ignore hotalloc fixture demonstrates a reasoned suppression
+		out = append(out, x)
+	}
+	return out
+}

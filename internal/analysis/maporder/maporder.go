@@ -1,0 +1,307 @@
+// Package maporder flags range statements over maps whose bodies are
+// not provably independent of iteration order. Go randomizes map
+// iteration, so any order-sensitive effect inside such a loop — an
+// append that is never sorted, string or float accumulation, an early
+// return, or a call with observable effects — makes output depend on
+// the iteration seed and breaks the repo's bit-identical-output
+// guarantee.
+//
+// The analyzer reasons in the prove-safe-else-flag direction. Safe
+// statement shapes inside a map range are:
+//
+//   - keyed writes (m2[k] = v, arr[i] = v) — each iteration touches
+//     its own slot, so order cannot matter;
+//   - commutative integer accumulation (n++, n += v, and friends);
+//   - declarations and assignments of loop-local variables that
+//     involve no calls;
+//   - pure builtins (len, cap, min, max, ...) and type conversions;
+//   - appends to a variable that a sort.* / slices.Sort* call
+//     canonicalizes in a statement following the loop — the sanctioned
+//     collect-keys-then-sort idiom.
+//
+// Everything else is reported at the offending statement.
+package maporder
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the maporder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration whose effects depend on nondeterministic iteration order",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				if ls, ok := stmt.(*ast.LabeledStmt); ok {
+					stmt = ls.Stmt
+				}
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				if t := pass.Info.Types[rs.X].Type; t == nil {
+					continue
+				} else if _, ok := t.Underlying().(*types.Map); !ok {
+					continue
+				}
+				checkRange(pass, rs, list[i+1:])
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRange analyzes one map-range body; following holds the
+// statements after the loop in its enclosing block, scanned for the
+// sort-after-append rescue.
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, following []ast.Stmt) {
+	v := &visitor{pass: pass, rs: rs, appends: map[*types.Var][]token.Pos{}}
+	v.walk(rs.Body, 0)
+
+	sorted := sortedVars(pass, following)
+	for obj, positions := range v.appends {
+		if sorted[obj] {
+			continue
+		}
+		for _, pos := range positions {
+			pass.Reportf(pos, "append to %q inside range over map %s without sorting afterwards — iteration order is nondeterministic; collect then sort, or sort the keys first",
+				obj.Name(), render(pass.Fset, rs.X))
+		}
+	}
+}
+
+// visitor walks a map-range body, flagging order-sensitive statements
+// and collecting appends to outer variables for the sort rescue.
+// depth counts enclosing breakable statements (for/range/switch/select)
+// inside the body, so an unlabeled break that targets an inner loop is
+// not mistaken for an early exit of the map range.
+type visitor struct {
+	pass    *analysis.Pass
+	rs      *ast.RangeStmt
+	appends map[*types.Var][]token.Pos
+}
+
+func (v *visitor) walk(n ast.Node, depth int) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.AssignStmt:
+		v.assign(n)
+		return
+	case *ast.IncDecStmt:
+		if obj := v.outerVar(n.X); obj != nil && !isInteger(obj.Type()) {
+			v.pass.Reportf(n.Pos(), "non-integer accumulation on %q inside range over map %s depends on iteration order",
+				obj.Name(), render(v.pass.Fset, v.rs.X))
+		}
+		return
+	case *ast.ReturnStmt:
+		v.pass.Reportf(n.Pos(), "return inside range over map %s selects an arbitrary element — iteration order is nondeterministic",
+			render(v.pass.Fset, v.rs.X))
+		v.walkChildren(n, depth)
+		return
+	case *ast.BranchStmt:
+		if (n.Tok == token.BREAK && n.Label == nil && depth == 0) || n.Tok == token.GOTO {
+			v.pass.Reportf(n.Pos(), "early exit from range over map %s selects an arbitrary element — iteration order is nondeterministic",
+				render(v.pass.Fset, v.rs.X))
+		}
+		return
+	case *ast.CallExpr:
+		v.call(n, depth)
+		return
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		v.walkChildren(n, depth+1)
+		return
+	}
+	v.walkChildren(n, depth)
+}
+
+// walkChildren recurses into n's immediate children at the given depth.
+func (v *visitor) walkChildren(n ast.Node, depth int) {
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == nil || child == n {
+			return child == n
+		}
+		v.walk(child, depth)
+		return false
+	})
+}
+
+// assign classifies one assignment inside the loop body.
+func (v *visitor) assign(n *ast.AssignStmt) {
+	// Appends are handled specially so the sort rescue can apply.
+	if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+		for i, rhs := range n.Rhs {
+			if i >= len(n.Lhs) {
+				break
+			}
+			call, ok := analysis.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if name, ok := analysis.BuiltinName(v.pass.Info, call); !ok || name != "append" {
+				continue
+			}
+			v.appendCall(n.Lhs[i], call)
+			// Arguments may still contain order-sensitive calls.
+			for _, arg := range call.Args {
+				v.walk(arg, 0)
+			}
+			return
+		}
+	}
+
+	for _, lhs := range n.Lhs {
+		obj := v.outerVar(lhs)
+		if obj == nil {
+			continue // loop-local, keyed, or blank target: order-safe
+		}
+		switch n.Tok {
+		case token.ASSIGN:
+			v.pass.Reportf(n.Pos(), "assignment to %q inside range over map %s is overwritten each iteration — the surviving value depends on iteration order",
+				obj.Name(), render(v.pass.Fset, v.rs.X))
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+			token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+			if !isInteger(obj.Type()) {
+				v.pass.Reportf(n.Pos(), "non-integer accumulation on %q inside range over map %s depends on iteration order (floating point and strings are not order-commutative)",
+					obj.Name(), render(v.pass.Fset, v.rs.X))
+			}
+		case token.DEFINE:
+			// New loop-local variable: safe.
+		default:
+			v.pass.Reportf(n.Pos(), "order-sensitive update of %q inside range over map %s",
+				obj.Name(), render(v.pass.Fset, v.rs.X))
+		}
+	}
+	for _, rhs := range n.Rhs {
+		v.walk(rhs, 0)
+	}
+}
+
+// appendCall records an append whose target is an outer variable; a
+// keyed target (m2[k] = append(m2[k], ...)) writes a per-key slot and
+// is order-safe.
+func (v *visitor) appendCall(lhs ast.Expr, call *ast.CallExpr) {
+	obj := v.outerVar(lhs)
+	if obj == nil {
+		return
+	}
+	v.appends[obj] = append(v.appends[obj], call.Pos())
+}
+
+// call classifies one call expression inside the loop body.
+func (v *visitor) call(n *ast.CallExpr, depth int) {
+	for _, arg := range n.Args {
+		v.walk(arg, depth)
+	}
+	if analysis.IsConversion(v.pass.Info, n) {
+		return
+	}
+	if name, ok := analysis.BuiltinName(v.pass.Info, n); ok {
+		switch name {
+		case "len", "cap", "min", "max", "make", "new", "delete",
+			"real", "imag", "complex", "recover":
+			return // pure or keyed: order-safe
+		case "append":
+			// Reaching here means the result is discarded or feeds a
+			// larger expression; treat like any append to an unknown
+			// destination and fall through to the generic report.
+		case "panic":
+			v.pass.Reportf(n.Pos(), "panic inside range over map %s fires on an arbitrary element — iteration order is nondeterministic",
+				render(v.pass.Fset, v.rs.X))
+			return
+		}
+	}
+	v.pass.Reportf(n.Pos(), "call to %s inside range over map %s may observe iteration order — sort the keys first or prove the call order-independent",
+		render(v.pass.Fset, n.Fun), render(v.pass.Fset, v.rs.X))
+}
+
+// outerVar resolves expr to a variable declared outside the loop body,
+// or nil when the target is loop-local, keyed, blank, or not a simple
+// variable.
+func (v *visitor) outerVar(expr ast.Expr) *types.Var {
+	id, ok := analysis.Unparen(expr).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj, ok := v.pass.Info.ObjectOf(id).(*types.Var)
+	if !ok {
+		return nil
+	}
+	if obj.Pos() >= v.rs.Pos() && obj.Pos() < v.rs.End() {
+		return nil // declared by the range clause or inside the body
+	}
+	return obj
+}
+
+// sortedVars returns the variables canonicalized by a sort call in the
+// statements following the loop. Recognized shapes: sort.Strings(x),
+// sort.Ints/Float64s/Slice/SliceStable/Sort/Stable, slices.Sort and
+// variants — including through a single type conversion, as in
+// sort.Sort(byName(x)).
+func sortedVars(pass *analysis.Pass, following []ast.Stmt) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	for _, stmt := range following {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		fn := analysis.Callee(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			continue
+		}
+		if pkg := fn.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			continue
+		}
+		arg := analysis.Unparen(call.Args[0])
+		if conv, ok := arg.(*ast.CallExpr); ok && analysis.IsConversion(pass.Info, conv) && len(conv.Args) == 1 {
+			arg = analysis.Unparen(conv.Args[0])
+		}
+		if id, ok := arg.(*ast.Ident); ok {
+			if obj, ok := pass.Info.ObjectOf(id).(*types.Var); ok {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+func isInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsBoolean) != 0
+}
+
+// render prints an expression compactly for diagnostics.
+func render(fset *token.FileSet, expr ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, expr); err != nil {
+		return "?"
+	}
+	return buf.String()
+}

@@ -1,0 +1,149 @@
+// Package fixture exercises maporder: order-sensitive map-range bodies
+// must be flagged, provably order-independent ones must not.
+package fixture
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"sort"
+)
+
+// appendNoSort grows an outer slice in map order and never sorts it.
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to "out" inside range over map m`
+	}
+	return out
+}
+
+// appendThenSort is the sanctioned collect-then-sort idiom.
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// stringConcat builds a string in map order.
+func stringConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `non-integer accumulation on "s"`
+	}
+	return s
+}
+
+// floatSum accumulates floats, which are not order-commutative.
+func floatSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `non-integer accumulation on "total"`
+	}
+	return total
+}
+
+// intSum is safe: integer addition commutes exactly.
+func intSum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// counter is safe: integer increment commutes exactly.
+func counter(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// hashFeed writes map entries into a hash in iteration order.
+func hashFeed(m map[string]int) [32]byte {
+	h := sha256.New()
+	for k := range m {
+		h.Write([]byte(k)) // want `call to h.Write inside range over map m`
+	}
+	var sum [32]byte
+	copy(sum[:], h.Sum(nil))
+	return sum
+}
+
+// jsonFeed marshals per-entry in iteration order.
+func jsonFeed(m map[string]string) [][]byte {
+	outs := make([][]byte, 0, len(m))
+	for _, v := range m {
+		b, _ := json.Marshal(v) // want `call to json.Marshal inside range over map m`
+		outs = append(outs, b)  // want `append to "outs" inside range over map m`
+	}
+	return outs
+}
+
+// earlyReturn picks an arbitrary element.
+func earlyReturn(m map[string]int) int {
+	for _, v := range m {
+		return v // want `return inside range over map m`
+	}
+	return 0
+}
+
+// earlyBreak also picks an arbitrary element; the inner loop's break
+// is fine, the outer one is not.
+func earlyBreak(m map[string]int) int {
+	found := 0
+	for _, v := range m {
+		for i := 0; i < v; i++ {
+			if i > 2 {
+				break
+			}
+		}
+		if v > 10 {
+			found = v // want `assignment to "found" inside range over map m`
+			break     // want `early exit from range over map m`
+		}
+	}
+	return found
+}
+
+// keyedWrites are safe: each iteration owns its slot.
+func keyedWrites(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// lastWins overwrites an outer variable every iteration.
+func lastWins(m map[string]int) int {
+	last := 0
+	for _, v := range m {
+		last = v // want `assignment to "last" inside range over map m`
+	}
+	return last
+}
+
+// suppressed demonstrates the lint:ignore path.
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:ignore maporder fixture demonstrates a reasoned suppression
+		out = append(out, k)
+	}
+	return out
+}
+
+// unreasonedDirective lacks a reason, so it does not suppress.
+func unreasonedDirective(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:ignore maporder
+		out = append(out, k) // want `append to "out" inside range over map m`
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package nakedgo_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nakedgo"
+)
+
+func TestNakedgo(t *testing.T) {
+	analysistest.Run(t, "testdata", nakedgo.Analyzer)
+}

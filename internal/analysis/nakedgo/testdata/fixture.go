@@ -1,0 +1,45 @@
+// Package fixture exercises nakedgo: raw goroutines and hand-rolled
+// WaitGroup fan-out are flagged; channel plumbing without spawning is
+// not.
+package fixture
+
+import "sync"
+
+func work() {}
+
+// handRolled is the pattern the analyzer exists to catch.
+func handRolled(n int) {
+	var wg sync.WaitGroup // want `hand-rolled sync.WaitGroup`
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { // want `raw go statement`
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// fireAndForget leaks a goroutine outside any pool.
+func fireAndForget() {
+	go work() // want `raw go statement`
+}
+
+// channelsOnly uses channels without spawning: fine.
+func channelsOnly(ch chan int) int {
+	return <-ch
+}
+
+// mutexUse is fine — only WaitGroup fan-out is the analyzer's target.
+func mutexUse() {
+	var mu sync.Mutex
+	mu.Lock()
+	defer mu.Unlock()
+	work()
+}
+
+// suppressed demonstrates the lint:ignore path.
+func suppressed() {
+	//lint:ignore nakedgo fixture demonstrates a reasoned suppression
+	go work()
+}

@@ -1,0 +1,71 @@
+// Package nondetsource forbids ambient nondeterminism in compute
+// paths: wall-clock reads (time.Now/Since/Until), the process
+// environment (os.Getenv and friends), and the globally seeded
+// math/rand package-level functions. The engine's outputs must be a
+// pure function of (dataset, spec, seed), so randomness enters only
+// through explicitly seeded generators (rand.New(rand.NewSource(seed))
+// stays legal) and time/environment stay at the service edge, outside
+// this analyzer's package scope.
+package nondetsource
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the nondetsource pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "nondetsource",
+	Doc:  "forbids time.Now, global math/rand, and os.Getenv in determinism-critical packages",
+	Run:  run,
+}
+
+// allowedRand are the math/rand entry points that construct explicitly
+// seeded generators rather than consuming the global one.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.Callee(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Intn) are the seeded path
+			}
+			var why string
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					why = "reads the wall clock"
+				}
+			case "os":
+				switch fn.Name() {
+				case "Getenv", "LookupEnv", "Environ":
+					why = "reads the process environment"
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[fn.Name()] {
+					why = "consumes the global random source"
+				}
+			}
+			if why != "" {
+				pass.Reportf(call.Pos(), "%s.%s %s — engine output must be a pure function of (input, seed); inject a seeded rng or clock instead",
+					fn.Pkg().Name(), fn.Name(), why)
+			}
+			return true
+		})
+	}
+	return nil
+}

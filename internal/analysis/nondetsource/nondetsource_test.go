@@ -1,0 +1,12 @@
+package nondetsource_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nondetsource"
+)
+
+func TestNondetsource(t *testing.T) {
+	analysistest.Run(t, "testdata", nondetsource.Analyzer)
+}

@@ -1,0 +1,37 @@
+// Package fixture exercises nondetsource: ambient nondeterminism is
+// flagged, the explicitly seeded path is not.
+package fixture
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// ambient consumes every forbidden source.
+func ambient() {
+	_ = time.Now()                     // want `time.Now reads the wall clock`
+	_ = time.Since(time.Time{})        // want `time.Since reads the wall clock`
+	_ = rand.Intn(4)                   // want `rand.Intn consumes the global random source`
+	rand.Shuffle(0, func(i, j int) {}) // want `rand.Shuffle consumes the global random source`
+	_ = os.Getenv("HOME")              // want `os.Getenv reads the process environment`
+	_, _ = os.LookupEnv("HOME")        // want `os.LookupEnv reads the process environment`
+}
+
+// seeded is the sanctioned path: construct a generator from an
+// explicit seed and call its methods.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(4)
+}
+
+// clockMethods on an injected time value are fine.
+func clockMethods(t0 time.Time) time.Duration {
+	return t0.Sub(time.Time{})
+}
+
+// suppressed demonstrates the lint:ignore path.
+func suppressed() time.Time {
+	//lint:ignore nondetsource fixture demonstrates a reasoned suppression
+	return time.Now()
+}

@@ -45,6 +45,8 @@ func (Exact) Posteriors(priors []prob.Dist, counts []int) []prob.Dist {
 }
 
 // ExactPosteriors is Exact.Posteriors with explicit error reporting.
+//
+//detlint:hotpath
 func ExactPosteriors(priors []prob.Dist, counts []int) ([]prob.Dist, error) {
 	k := len(priors)
 	if k == 0 {
@@ -53,8 +55,8 @@ func ExactPosteriors(priors []prob.Dist, counts []int) ([]prob.Dist, error) {
 	m := len(counts)
 
 	// Compress to the values present in the group.
-	var vals []int // sensitive domain indexes present
-	var n []int    // their counts
+	vals := make([]int, 0, m) // sensitive domain indexes present
+	n := make([]int, 0, m)    // their counts
 	total := 0
 	for i, c := range counts {
 		if c > 0 {
@@ -75,6 +77,7 @@ func ExactPosteriors(priors []prob.Dist, counts []int) ([]prob.Dist, error) {
 		radix[i] = states
 		states *= ni + 1
 		if states > MaxExactStates {
+			//lint:ignore hotalloc error path — boxes once and returns, never in steady state
 			return nil, fmt.Errorf("%w: %d tuples, %d distinct values", ErrTooLarge, k, r)
 		}
 	}
@@ -179,12 +182,15 @@ func decode(s int, radix, n []int, out []int) {
 // GroupLikelihood returns P(S|E): the total weight of all assignments
 // between tuples and the sensitive multiset, each distinct value
 // mapping counted once. It is perm(M)/Π n_i! for the k×k prior matrix.
+//
+//detlint:hotpath
 func GroupLikelihood(priors []prob.Dist, counts []int) (float64, error) {
 	k := len(priors)
 	if k == 0 {
 		return 1, nil
 	}
-	var vals, n []int
+	vals := make([]int, 0, len(counts))
+	n := make([]int, 0, len(counts))
 	total := 0
 	for i, c := range counts {
 		if c > 0 {
@@ -203,6 +209,7 @@ func GroupLikelihood(priors []prob.Dist, counts []int) (float64, error) {
 		radix[i] = states
 		states *= ni + 1
 		if states > MaxExactStates {
+			//lint:ignore hotalloc error path — boxes once and returns, never in steady state
 			return 0, fmt.Errorf("%w: %d tuples, %d distinct values", ErrTooLarge, k, r)
 		}
 	}

@@ -1,3 +1,7 @@
+// The whole file is the kernel's allocation-audited region: hotalloc
+// flags per-iteration allocation in every function here.
+//
+//detlint:hotpath
 package kernel
 
 import (
@@ -145,6 +149,7 @@ func (e *Estimator) buildCands(nonzero func(idx int) bool) candSet {
 			rowIdx := off + v*r
 			for dv := 0; dv < r; dv++ {
 				if nonzero(rowIdx + dv) {
+					//lint:ignore hotalloc construction path, once per bandwidth then memoized; support size is data-dependent and output-proportional
 					support[i][v] = append(support[i][v], int32(dv))
 					lens[i][v] += boff[dv+1] - boff[dv]
 				}

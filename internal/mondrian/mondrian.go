@@ -83,14 +83,11 @@ func (p *Partitioner) recurse(rows []int, depth int, out *[]*anonymize.Group, li
 		if p.Req.Satisfied(left) && p.Req.Satisfied(right) {
 			if depth < p.maxDepth() && lim.TryAcquire() {
 				var rightGroups []*anonymize.Group
-				done := make(chan struct{})
-				go func() {
-					defer close(done)
+				wait := lim.Go(func() {
 					p.recurse(right, depth+1, &rightGroups, lim)
-					lim.Release()
-				}()
+				})
 				p.recurse(left, depth+1, out, lim)
-				<-done
+				wait()
 				*out = append(*out, rightGroups...)
 			} else {
 				p.recurse(left, depth+1, out, lim)

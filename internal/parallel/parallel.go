@@ -21,6 +21,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -134,3 +135,56 @@ func (l *Limiter) TryAcquire() bool {
 
 // Release returns a token claimed by TryAcquire.
 func (l *Limiter) Release() { <-l.sem }
+
+// Go runs fn on its own goroutine under a token the caller already
+// claimed with TryAcquire, releasing the token when fn returns. The
+// returned wait blocks until fn has finished. It is the sanctioned
+// spawn for divide-and-conquer recursion: the caller descends one
+// branch inline, Go takes the other, and wait() joins them before the
+// caller merges results — so fan-in order stays deterministic even
+// though execution overlaps.
+func (l *Limiter) Go(fn func()) (wait func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer l.Release()
+		fn()
+	}()
+	return func() { <-done }
+}
+
+// Workers launches n long-lived goroutines running fn(0) … fn(n-1) and
+// returns wait, which blocks until every worker has returned. Unlike
+// For, the workers are not fed from an index range — each owns its
+// slot for the process's lifetime (servers draining a channel, load
+// generators) and decides for itself when to stop, typically by its
+// feed channel closing.
+func Workers(n int, fn func(i int)) (wait func()) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	return wg.Wait
+}
+
+// WaitContext waits for wait() to return, giving up when the context
+// expires first. The abandoned wait keeps running on its own
+// goroutine; callers use this for graceful-shutdown deadlines where
+// the process is about to exit anyway.
+func WaitContext(ctx context.Context, wait func()) error {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wait()
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -29,11 +29,25 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 
 	"repro/internal/dataset"
 	"repro/internal/hierarchy"
 )
+
+// sortedKeys returns m's keys in sorted order. Every map walk whose
+// per-key effect is observable — validation error selection, compiled
+// model layout — goes through this so the outcome is independent of
+// Go's randomized map iteration.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // MaxDomainSize bounds the cardinality a single attribute domain may
 // declare. Kernel weight tables and distance matrices are O(r²) per
@@ -322,12 +336,16 @@ func (s *Spec) Validate() error {
 
 func (s *Spec) validateSynthesis(domains map[string]map[string]bool, sensName string) error {
 	syn := s.Synthesis
-	for attr, profile := range syn.Weights {
+	// Walk maps in sorted key order so the first validation error — the
+	// one surfaced to the caller — is the same on every run.
+	for _, attr := range sortedKeys(syn.Weights) {
+		profile := syn.Weights[attr]
 		dom, ok := domains[attr]
 		if !ok {
 			return fmt.Errorf("weights reference unknown attribute %q", attr)
 		}
-		for v, w := range profile {
+		for _, v := range sortedKeys(profile) {
+			w := profile[v]
 			if !dom[v] {
 				return fmt.Errorf("weights for %s reference unknown value %q", attr, v)
 			}
@@ -337,14 +355,13 @@ func (s *Spec) validateSynthesis(domains map[string]map[string]bool, sensName st
 		}
 		// A profile that zeroes the whole domain can never draw a value.
 		if len(profile) == len(dom) {
-			allZero := true
+			positive := 0
 			for _, w := range profile {
 				if w > 0 {
-					allZero = false
-					break
+					positive++
 				}
 			}
-			if allZero {
+			if positive == 0 {
 				return fmt.Errorf("weights zero out the entire %s domain", attr)
 			}
 		}
@@ -357,7 +374,8 @@ func (s *Spec) validateSynthesis(domains map[string]map[string]bool, sensName st
 		if len(dep.Scale) == 0 {
 			return fmt.Errorf("dependency %d: empty scale", di)
 		}
-		for v, f := range dep.Scale {
+		for _, v := range sortedKeys(dep.Scale) {
+			f := dep.Scale[v]
 			if !sensDom[v] {
 				return fmt.Errorf("dependency %d scales unknown sensitive value %q", di, v)
 			}
@@ -561,6 +579,7 @@ func (s *Spec) CheckTable(t *dataset.Table) error {
 // encoding/json marshals struct fields in declaration order and map
 // keys sorted, so Marshal of the Spec is already canonical.
 func (s *Spec) canonicalJSON() []byte {
+	//lint:ignore canonjson encoding/json sorts map keys and the registry's golden fingerprint tests pin these exact bytes; swapping encoders requires a deliberate id migration
 	b, err := json.Marshal(s)
 	if err != nil {
 		// Spec contains only marshalable types; this is unreachable.

@@ -165,12 +165,14 @@ func compileDep(sch *dataset.Schema, qiAt map[string]int, when Condition, scale 
 	for i := range sv {
 		sv[i] = 1
 	}
-	for val, f := range scale {
+	// Sorted walk: the write per key is order-safe, but which missing
+	// value gets reported must not depend on map iteration order.
+	for _, val := range sortedKeys(scale) {
 		i, ok := sch.Sensitive.Index(val)
 		if !ok {
 			return compiledDep{}, fmt.Errorf("scale value %q not in sensitive domain", val)
 		}
-		sv[i] = f
+		sv[i] = scale[val]
 	}
 	return compiledDep{qi: qi, match: match, scale: sv}, nil
 }

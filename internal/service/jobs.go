@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/parallel"
 )
 
 // jobState is the lifecycle of an async anonymize job:
@@ -68,7 +70,7 @@ type jobQueue struct {
 	finished []string          // terminal job ids, oldest first
 	ch       chan *job
 	closed   bool
-	wg       sync.WaitGroup
+	wait     func() // joins the worker pool; set by startJobWorkers
 }
 
 func newJobQueue(depth int) *jobQueue {
@@ -220,18 +222,15 @@ func (q *jobQueue) drain(ctx context.Context) error {
 		q.closed = true
 		close(q.ch)
 	}
+	wait := q.wait
 	q.mu.Unlock()
-	done := make(chan struct{})
-	go func() {
-		q.wg.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		return fmt.Errorf("service: job drain: %w", ctx.Err())
+	if wait == nil {
+		return nil // no worker pool was ever started
 	}
+	if err := parallel.WaitContext(ctx, wait); err != nil {
+		return fmt.Errorf("service: job drain: %w", err)
+	}
+	return nil
 }
 
 // startJobWorkers launches the pool that drains the queue. Each worker
@@ -239,24 +238,23 @@ func (q *jobQueue) drain(ctx context.Context) error {
 // internally on the engine pool, so a small worker count keeps the
 // machine busy without oversubscribing it.
 func (s *Server) startJobWorkers(n int) {
-	for i := 0; i < n; i++ {
-		s.jobs.wg.Add(1)
-		go func() {
-			defer s.jobs.wg.Done()
-			for j := range s.jobs.ch {
-				s.jobs.setRunning(j)
-				s.metrics.JobsRunning.Add(1)
-				_, _, err := s.resolveOrCompute(j.ds, j.req)
-				s.metrics.JobsRunning.Add(-1)
-				s.jobs.finish(j, err)
-				if err != nil {
-					s.metrics.JobsFailed.Add(1)
-				} else {
-					s.metrics.JobsDone.Add(1)
-				}
+	wait := parallel.Workers(n, func(int) {
+		for j := range s.jobs.ch {
+			s.jobs.setRunning(j)
+			s.metrics.JobsRunning.Add(1)
+			_, _, err := s.resolveOrCompute(j.ds, j.req)
+			s.metrics.JobsRunning.Add(-1)
+			s.jobs.finish(j, err)
+			if err != nil {
+				s.metrics.JobsFailed.Add(1)
+			} else {
+				s.metrics.JobsDone.Add(1)
 			}
-		}()
-	}
+		}
+	})
+	s.jobs.mu.Lock()
+	s.jobs.wait = wait
+	s.jobs.mu.Unlock()
 }
 
 // Drain gracefully shuts the async subsystem down: new submissions are

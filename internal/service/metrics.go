@@ -230,7 +230,16 @@ func (m *Metrics) snapshot(releases, datasets, pendingJobs int) Snapshot {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for name, r := range m.lat {
+	// Quantile computation sorts a scratch copy in place; walk the
+	// endpoints in sorted order so any future observable side effect
+	// of it stays independent of map iteration order.
+	names := make([]string, 0, len(m.lat))
+	for name := range m.lat {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := m.lat[name]
 		qs := r.quantiles(0.50, 0.99)
 		s.Endpoints[name] = EndpointStats{Count: r.count, P50Milli: qs[0], P99Milli: qs[1]}
 	}

@@ -188,8 +188,16 @@ func (s *Server) replaySchemas() error {
 	if err != nil {
 		return fmt.Errorf("service: replaying persisted schemas: %w", err)
 	}
-	for _, doc := range docs {
-		if _, _, err := s.schemas.Import(doc); err != nil {
+	// Replay in sorted id order: registration is first-writer-wins per
+	// schema name, so map-order iteration would make boot state depend
+	// on the iteration seed whenever two persisted specs collide.
+	ids := make([]string, 0, len(docs))
+	for id := range docs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if _, _, err := s.schemas.Import(docs[id]); err != nil {
 			s.metrics.PersistErrors.Add(1)
 		}
 	}
