@@ -6,13 +6,15 @@
 # the bench targets cannot rot, a short fuzz smoke over the
 # untrusted-input decoders (CSV rows, JSON schema specs), and the
 # serve-restart smoke (boot, ingest, kill, reboot, verify
-# byte-identical disk recovery with zero pipeline runs).
+# byte-identical disk recovery with zero pipeline runs), and the
+# observability smoke (boot with a diagnostics listener, drive load,
+# verify the stages ledger, /debug/traces, and pprof answer).
 
 GO ?= go
 
-.PHONY: ci fmt vet lint build test race bench bench-json fuzz cover serve loadgen restart-smoke
+.PHONY: ci fmt vet lint build test race bench bench-json fuzz cover serve loadgen restart-smoke obs-smoke
 
-ci: fmt vet lint build race bench fuzz restart-smoke
+ci: fmt vet lint build race bench fuzz restart-smoke obs-smoke
 
 # gofmt -l as a check: fails listing any file that needs formatting.
 fmt:
@@ -76,3 +78,9 @@ loadgen:
 # dir and verify recovery (see scripts/restart_smoke.sh).
 restart-smoke:
 	GO="$(GO)" sh scripts/restart_smoke.sh
+
+# Black-box observability check: boot with -debug-addr, drive loadgen,
+# assert the stages ledger, trace ring, and pprof surface all answer
+# (see scripts/obs_smoke.sh).
+obs-smoke:
+	GO="$(GO)" sh scripts/obs_smoke.sh

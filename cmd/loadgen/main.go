@@ -48,6 +48,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/service"
 )
@@ -177,6 +178,11 @@ func main() {
 			ds.ID, ds.Schema, ds.Records, ds.Cached, time.Since(start).Seconds())
 		return ds
 	}
+	// Snapshot the server's stage ledger before any of our traffic, so
+	// the post-run report can print the deltas this run caused — which
+	// pipeline stages ran, how often, and where the time went.
+	stagesBefore := fetchStages(c)
+
 	datasets := []service.DatasetResponse{ingest("")}
 
 	// -schema: register the spec and ingest a second dataset under it,
@@ -266,6 +272,7 @@ func main() {
 
 	report(samplesPerWorker, elapsed)
 	printServerMetrics(c)
+	printStageDeltas(stagesBefore, fetchStages(c))
 }
 
 // parseMix decodes "name:weight,..." into scenarios.
@@ -392,10 +399,55 @@ func printServerMetrics(c *client) {
 	}
 	sort.Strings(eps)
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "endpoint\tcount\tp50(ms)\tp99(ms)")
+	fmt.Fprintln(tw, "endpoint\tcount\terrors\tp50(ms)\tp99(ms)")
 	for _, ep := range eps {
 		st := snap.Endpoints[ep]
-		fmt.Fprintf(tw, "%s\t%d\t%.2f\t%.2f\n", ep, st.Count, st.P50Milli, st.P99Milli)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f\t%.2f\n", ep, st.Count, st.Errors, st.P50Milli, st.P99Milli)
 	}
 	tw.Flush()
+}
+
+// fetchStages grabs the server's per-stage ledger from /metrics. A
+// fetch failure (or a server without tracing) degrades to an empty
+// ledger rather than aborting the run.
+func fetchStages(c *client) map[string]obs.StageStats {
+	var snap service.Snapshot
+	if err := c.getJSON("/metrics", &snap); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: fetching stage ledger: %v\n", err)
+		return nil
+	}
+	return snap.Stages
+}
+
+// printStageDeltas reports what this run added to the server's stage
+// ledger: per-stage pass counts, total seconds, and mean duration —
+// the attribution of the run's wall time to pipeline stages.
+func printStageDeltas(before, after map[string]obs.StageStats) {
+	names := make([]string, 0, len(after))
+	for name := range after {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	printed := false
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	for _, name := range names {
+		d := after[name]
+		if b, ok := before[name]; ok {
+			d.Count -= b.Count
+			d.TotalSeconds -= b.TotalSeconds
+		}
+		if d.Count <= 0 {
+			continue
+		}
+		if !printed {
+			fmt.Println("\nstage deltas (this run):")
+			fmt.Fprintln(tw, "stage\tcount\ttotal(s)\tmean(ms)")
+			printed = true
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\n",
+			name, d.Count, d.TotalSeconds, d.TotalSeconds/float64(d.Count)*1000)
+	}
+	if printed {
+		tw.Flush()
+	}
 }

@@ -11,6 +11,14 @@
 //	serve [-addr :8080] [-workers W] [-releases 128] [-datasets 8]
 //	      [-data-dir DIR] [-job-workers 2] [-job-queue 128]
 //	      [-schema spec.json[,spec2.json...]]
+//	      [-debug-addr ADDR] [-trace-ring 128] [-slow-trace-ms 0]
+//	      [-no-tracing]
+//
+// -debug-addr starts a second listener with the diagnostics surface:
+// GET /debug/traces (recent request/job traces with per-stage spans,
+// ?min_ms= filter) and the standard net/http/pprof endpoints under
+// /debug/pprof/. Keeping it on its own address means profiling and
+// trace inspection never share a port with production traffic.
 //
 // Endpoints: POST/GET /v1/schemas; POST /v1/datasets, /v1/anonymize
 // (sync, or "async": true → 202 + job), /v1/attack, /v1/risk; GET
@@ -32,7 +40,7 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -52,26 +60,34 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durable store directory (empty = memory only)")
 	jobWorkers := flag.Int("job-workers", 2, "async anonymize worker pool size")
 	jobQueue := flag.Int("job-queue", 128, "async anonymize queue depth")
+	debugAddr := flag.String("debug-addr", "", "diagnostics listen address for /debug/traces and /debug/pprof (empty = disabled)")
+	traceRing := flag.Int("trace-ring", 128, "recent traces retained for /debug/traces")
+	slowTraceMS := flag.Int("slow-trace-ms", 0, "default /debug/traces min_ms filter")
+	noTracing := flag.Bool("no-tracing", false, "disable request tracing and the stage ledger")
 	schemas := cli.Schema("comma-separated JSON dataset specs to preload at boot")
 	workers := cli.Workers()
 	flag.Parse()
 
-	logger := log.New(os.Stderr, "serve: ", log.LstdFlags)
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	srv, err := service.New(service.Config{
-		Workers:       *workers,
-		ReleaseCap:    *releases,
-		DatasetCap:    *datasets,
-		DataDir:       *dataDir,
-		JobWorkers:    *jobWorkers,
-		JobQueueDepth: *jobQueue,
+		Workers:         *workers,
+		ReleaseCap:      *releases,
+		DatasetCap:      *datasets,
+		DataDir:         *dataDir,
+		JobWorkers:      *jobWorkers,
+		JobQueueDepth:   *jobQueue,
+		DisableTracing:  *noTracing,
+		TraceRing:       *traceRing,
+		SlowTraceMillis: *slowTraceMS,
+		Logger:          logger,
 	})
 	if err != nil {
 		cli.Fatal("serve", err)
 	}
 	if *dataDir != "" {
 		ns, nd, nr := srv.PersistedArtifacts()
-		logger.Printf("durable store %s: %d schemas, %d datasets, %d releases recoverable",
-			*dataDir, ns, nd, nr)
+		logger.Info("durable store opened", "dir", *dataDir,
+			"schemas", ns, "datasets", nd, "releases", nr)
 	}
 	if *schemas != "" {
 		for _, path := range strings.Split(*schemas, ",") {
@@ -83,7 +99,7 @@ func main() {
 			if err != nil {
 				cli.Fatal("serve", err)
 			}
-			logger.Printf("schema %s preloaded as %s (existed=%v)", spec.Name, id, existed)
+			logger.Info("schema preloaded", "name", spec.Name, "id", id, "existed", existed)
 		}
 	}
 	hs := &http.Server{
@@ -98,23 +114,39 @@ func main() {
 	errc := make(chan error, 1)
 	//lint:ignore nakedgo single listener goroutine feeding the shutdown select below; there is no fan-out to bound and net/http owns its lifetime
 	go func() { errc <- hs.ListenAndServe() }()
-	logger.Printf("listening on %s (workers=%d, releases=%d, datasets=%d, job-workers=%d)",
-		*addr, *workers, *releases, *datasets, *jobWorkers)
+	var ds *http.Server
+	if *debugAddr != "" {
+		ds = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           srv.DebugHandler(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		//lint:ignore nakedgo single diagnostics listener goroutine; it reports fatal errors through the same shutdown channel and net/http owns its lifetime
+		go func() { errc <- ds.ListenAndServe() }()
+		logger.Info("diagnostics listening", "addr", *debugAddr,
+			"traces", "/debug/traces", "pprof", "/debug/pprof/")
+	}
+	logger.Info("listening", "addr", *addr, "workers", *workers,
+		"releases", *releases, "datasets", *datasets, "job_workers", *jobWorkers,
+		"tracing", !*noTracing)
 
 	select {
 	case err := <-errc:
 		cli.Fatal("serve", err)
 	case <-ctx.Done():
 	}
-	logger.Print("shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if ds != nil {
+		ds.Close()
+	}
 	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		cli.Fatal("serve", err)
 	}
 	// The listener is closed; finish the async jobs already accepted.
 	if err := srv.Drain(shutdownCtx); err != nil {
-		logger.Printf("job drain incomplete: %v", err)
+		logger.Warn("job drain incomplete", "err", err)
 	}
-	logger.Print("drained")
+	logger.Info("drained")
 }

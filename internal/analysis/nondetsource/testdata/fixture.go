@@ -30,6 +30,16 @@ func clockMethods(t0 time.Time) time.Duration {
 	return t0.Sub(time.Time{})
 }
 
+// spanClock is the shape compute code sees after the obs refactor: a
+// timing handle is injected, so durations come from its methods — but a
+// direct clock read next to it is still ambient and still flagged. Only
+// internal/obs carries the one suppressed time.Now.
+func spanClock(started time.Time) time.Duration {
+	elapsed := time.Time{}.Sub(started) // injected value: fine
+	_ = time.Now()                      // want `time.Now reads the wall clock`
+	return elapsed
+}
+
 // suppressed demonstrates the lint:ignore path.
 func suppressed() time.Time {
 	//lint:ignore nondetsource fixture demonstrates a reasoned suppression

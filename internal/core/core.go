@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/inference"
 	"repro/internal/kernel"
 	"repro/internal/mondrian"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/privacy"
 	"repro/internal/prob"
@@ -189,6 +191,15 @@ func New(t *dataset.Table, hiers map[string]*hierarchy.Hierarchy, k kernel.Func,
 // Priors returns the per-record prior beliefs of adversary Adv(B),
 // computing and caching them on first use.
 func (e *Engine) Priors(b []float64) ([]prob.Dist, error) {
+	return e.priorsSpan(nil, b)
+}
+
+// priorsSpan is Priors with a recorder: the estimator's table build
+// and prior pass land as stage spans under sp. Because the cache slot
+// is a singleflight, only the computing caller records spans — later
+// and concurrent callers attach nothing, so shared work is attributed
+// exactly once (to whoever actually ran it).
+func (e *Engine) priorsSpan(sp *obs.Span, b []float64) ([]prob.Dist, error) {
 	key := kernel.BandwidthKey(b)
 	e.mu.Lock()
 	entry, ok := e.priors[key]
@@ -198,7 +209,7 @@ func (e *Engine) Priors(b []float64) ([]prob.Dist, error) {
 	}
 	e.mu.Unlock()
 	entry.once.Do(func() {
-		entry.priors, entry.err = e.Estimator.Priors(b)
+		entry.priors, entry.err = e.Estimator.PriorsSpan(sp, b)
 	})
 	return entry.priors, entry.err
 }
@@ -214,6 +225,11 @@ func (e *Engine) UniformPriors(b float64) ([]prob.Dist, error) {
 // bandwidth. Results land in the same per-bandwidth cache Priors uses,
 // and out[i] is bit-identical to Priors(bvecs[i]).
 func (e *Engine) PriorsBatch(bvecs [][]float64) ([][]prob.Dist, error) {
+	return e.priorsBatchSpan(nil, bvecs)
+}
+
+// priorsBatchSpan is PriorsBatch with a recorder (see priorsSpan).
+func (e *Engine) priorsBatchSpan(sp *obs.Span, bvecs [][]float64) ([][]prob.Dist, error) {
 	entries := make([]*priorEntry, len(bvecs))
 	var missing []int
 	e.mu.Lock()
@@ -233,7 +249,7 @@ func (e *Engine) PriorsBatch(bvecs [][]float64) ([][]prob.Dist, error) {
 		for j, i := range missing {
 			grid[j] = bvecs[i]
 		}
-		batch, err := e.Estimator.PriorsBatch(grid)
+		batch, err := e.Estimator.PriorsBatchSpan(sp, grid)
 		if err != nil {
 			return nil, err
 		}
@@ -247,7 +263,7 @@ func (e *Engine) PriorsBatch(bvecs [][]float64) ([][]prob.Dist, error) {
 		// Entries that were already resident (or racing) resolve
 		// through the same singleflight slot Priors uses.
 		b := bvecs[i]
-		entry.once.Do(func() { entry.priors, entry.err = e.Estimator.Priors(b) })
+		entry.once.Do(func() { entry.priors, entry.err = e.Estimator.PriorsSpan(sp, b) })
 		if entry.err != nil {
 			return nil, entry.err
 		}
@@ -259,6 +275,12 @@ func (e *Engine) PriorsBatch(bvecs [][]float64) ([][]prob.Dist, error) {
 // Requirement builds the composed requirement (model ∧ K-anonymity)
 // for a parameter set, as the evaluation enforces (§V).
 func (e *Engine) Requirement(m Model, p Params) (privacy.Requirement, error) {
+	return e.requirementSpan(nil, m, p)
+}
+
+// requirementSpan is Requirement with a recorder: the (B,t) model runs
+// a prior pass during construction, which the span attributes.
+func (e *Engine) requirementSpan(sp *obs.Span, m Model, p Params) (privacy.Requirement, error) {
 	var attr privacy.Requirement
 	switch m {
 	case DistinctLDiversity:
@@ -273,7 +295,7 @@ func (e *Engine) Requirement(m Model, p Params) (privacy.Requirement, error) {
 			M:     e.SensMatrix,
 		}
 	case BTPrivacy:
-		bt, err := e.BTRequirement(p)
+		bt, err := e.btRequirementSpan(sp, p)
 		if err != nil {
 			return nil, err
 		}
@@ -290,8 +312,13 @@ func (e *Engine) Requirement(m Model, p Params) (privacy.Requirement, error) {
 // requested (B, t) that the binaries expose: {(0.2, t), (B, t),
 // (0.5, t+0.05)}, composed with K-anonymity.
 func (e *Engine) RequirementByName(name string, p Params) (privacy.Requirement, error) {
+	return e.requirementByNameSpan(nil, name, p)
+}
+
+// requirementByNameSpan is RequirementByName with a recorder.
+func (e *Engine) requirementByNameSpan(sp *obs.Span, name string, p Params) (privacy.Requirement, error) {
 	if name == "skyline" {
-		return e.SkylineRequirement(p.K, []Params{
+		return e.skylineRequirementSpan(sp, p.K, []Params{
 			{B: 0.2, T: p.T},
 			{B: p.B, T: p.T},
 			{B: 0.5, T: p.T + 0.05},
@@ -301,16 +328,21 @@ func (e *Engine) RequirementByName(name string, p Params) (privacy.Requirement, 
 	if !ok {
 		return nil, fmt.Errorf("core: unknown model %q", name)
 	}
-	return e.Requirement(m, p)
+	return e.requirementSpan(sp, m, p)
 }
 
 // BTRequirement builds the bare (B,t) requirement for a parameter set.
 func (e *Engine) BTRequirement(p Params) (privacy.BTPrivacy, error) {
+	return e.btRequirementSpan(nil, p)
+}
+
+// btRequirementSpan is BTRequirement with a recorder for its prior pass.
+func (e *Engine) btRequirementSpan(sp *obs.Span, p Params) (privacy.BTPrivacy, error) {
 	bvec := p.BVec
 	if bvec == nil {
 		bvec = kernel.UniformBandwidth(e.Table.Schema.D(), p.B)
 	}
-	priors, err := e.Priors(bvec)
+	priors, err := e.priorsSpan(sp, bvec)
 	if err != nil {
 		return privacy.BTPrivacy{}, err
 	}
@@ -327,9 +359,14 @@ func (e *Engine) BTRequirement(p Params) (privacy.BTPrivacy, error) {
 // SkylineRequirement builds the skyline (B,t) requirement for a set of
 // (B_i, t_i) pairs, composed with K-anonymity.
 func (e *Engine) SkylineRequirement(k int, entries []Params) (privacy.Requirement, error) {
+	return e.skylineRequirementSpan(nil, k, entries)
+}
+
+// skylineRequirementSpan is SkylineRequirement with a recorder.
+func (e *Engine) skylineRequirementSpan(sp *obs.Span, k int, entries []Params) (privacy.Requirement, error) {
 	sky := privacy.Skyline{}
 	for _, p := range entries {
-		bt, err := e.BTRequirement(p)
+		bt, err := e.btRequirementSpan(sp, p)
 		if err != nil {
 			return nil, err
 		}
@@ -341,7 +378,13 @@ func (e *Engine) SkylineRequirement(k int, entries []Params) (privacy.Requiremen
 // Anonymize runs the Mondrian variant with the given requirement,
 // partitioning subtrees on the engine's worker pool.
 func (e *Engine) Anonymize(req privacy.Requirement) *anonymize.Result {
-	p := &mondrian.Partitioner{Table: e.Table, Req: req, Workers: e.Workers()}
+	return e.anonymizeSpan(nil, req)
+}
+
+// anonymizeSpan is Anonymize with a recorder: the whole recursion lands
+// as one mondrian stage span under sp.
+func (e *Engine) anonymizeSpan(sp *obs.Span, req privacy.Requirement) *anonymize.Result {
+	p := &mondrian.Partitioner{Table: e.Table, Req: req, Workers: e.Workers(), Span: sp}
 	return p.Anonymize()
 }
 
@@ -361,9 +404,25 @@ func (e *Engine) AnonymizeModel(m Model, p Params) (*anonymize.Result, error) {
 // node (nil for the other algorithms). Anatomy enforces ℓ-diversity by
 // construction and uses only p.L.
 func (e *Engine) RunAlgorithm(algo, model string, p Params) (res *anonymize.Result, levels []int, err error) {
+	return e.runAlgorithm(nil, algo, model, p)
+}
+
+// RunAlgorithmContext is RunAlgorithm under a traced request: the
+// pipeline's stages (prior passes, partitioning, anatomy, incognito
+// search) are recorded as children of the context's span. A context
+// without a span — or a plain context.Background() — runs identically
+// with zero recording overhead.
+func (e *Engine) RunAlgorithmContext(ctx context.Context, algo, model string, p Params) (res *anonymize.Result, levels []int, err error) {
+	return e.runAlgorithm(obs.SpanFromContext(ctx), algo, model, p)
+}
+
+// runAlgorithm is the span-threaded dispatch behind both entry points.
+func (e *Engine) runAlgorithm(sp *obs.Span, algo, model string, p Params) (res *anonymize.Result, levels []int, err error) {
 	switch algo {
 	case "anatomy":
+		asp := sp.StartStage(obs.StageAnatomy)
 		res, err = anatomy.Anatomize(e.Table, p.L)
+		asp.End()
 		if err != nil {
 			return nil, nil, err
 		}
@@ -372,21 +431,23 @@ func (e *Engine) RunAlgorithm(algo, model string, p Params) (res *anonymize.Resu
 		if lerr != nil {
 			return nil, nil, lerr
 		}
-		req, rerr := e.RequirementByName(model, p)
+		req, rerr := e.requirementByNameSpan(sp, model, p)
 		if rerr != nil {
 			return nil, nil, rerr
 		}
 		g := &incognito.Generalizer{Table: e.Table, Ladders: ladders, Req: req}
+		isp := sp.StartStage(obs.StageIncognito)
 		levels, res, err = g.Search()
+		isp.End()
 		if err != nil {
 			return nil, nil, err
 		}
 	case "mondrian":
-		req, rerr := e.RequirementByName(model, p)
+		req, rerr := e.requirementByNameSpan(sp, model, p)
 		if rerr != nil {
 			return nil, nil, rerr
 		}
-		res = e.Anonymize(req)
+		res = e.anonymizeSpan(sp, req)
 	default:
 		return nil, nil, fmt.Errorf("core: unknown algorithm %q", algo)
 	}
@@ -466,15 +527,29 @@ type groupAttack struct {
 // self-contained and the reduction runs in group order, so the report
 // is bit-identical to the sequential path at any worker count.
 func (e *Engine) Attack(res *anonymize.Result, bvec []float64, t float64, breach Breach) (*AttackReport, error) {
-	priors, err := e.Priors(bvec)
+	return e.attackSpan(nil, res, bvec, t, breach)
+}
+
+// AttackContext is Attack under a traced request: the prior pass and
+// the inference fan-out land as stage spans on the context's span.
+func (e *Engine) AttackContext(ctx context.Context, res *anonymize.Result, bvec []float64, t float64, breach Breach) (*AttackReport, error) {
+	return e.attackSpan(obs.SpanFromContext(ctx), res, bvec, t, breach)
+}
+
+// attackSpan is the span-threaded attack behind both entry points.
+func (e *Engine) attackSpan(sp *obs.Span, res *anonymize.Result, bvec []float64, t float64, breach Breach) (*AttackReport, error) {
+	priors, err := e.priorsSpan(sp, bvec)
 	if err != nil {
 		return nil, err
 	}
+	isp := sp.Child(obs.StageInference, "inference "+e.Method.Name())
 	perGroup := parallel.Map(e.Workers(), len(res.Groups), func(gi int) groupAttack {
 		g := res.Groups[gi]
 		return e.attackGroup(g, priors, e.groupCounts(g), breach, t)
 	})
-	return e.reduceAttack(res, perGroup), nil
+	rep := e.reduceAttack(res, perGroup)
+	isp.End()
+	return rep, nil
 }
 
 // groupCounts is one class's sensitive multiset — bandwidth-invariant,
@@ -543,10 +618,21 @@ func (e *Engine) reduceAttack(res *anonymize.Result, perGroup []groupAttack) *At
 // out[i] is bit-identical to Attack(res, bvecs[i], t, breach) at any
 // worker count.
 func (e *Engine) AttackSweep(res *anonymize.Result, bvecs [][]float64, t float64, breach Breach) ([]*AttackReport, error) {
+	return e.attackSweepSpan(nil, res, bvecs, t, breach)
+}
+
+// AttackSweepContext is AttackSweep under a traced request (see
+// AttackContext); one inference span covers the whole fused dispatch.
+func (e *Engine) AttackSweepContext(ctx context.Context, res *anonymize.Result, bvecs [][]float64, t float64, breach Breach) ([]*AttackReport, error) {
+	return e.attackSweepSpan(obs.SpanFromContext(ctx), res, bvecs, t, breach)
+}
+
+// attackSweepSpan is the span-threaded sweep behind both entry points.
+func (e *Engine) attackSweepSpan(sp *obs.Span, res *anonymize.Result, bvecs [][]float64, t float64, breach Breach) ([]*AttackReport, error) {
 	if len(bvecs) == 0 {
 		return nil, nil
 	}
-	priorsByB, err := e.PriorsBatch(bvecs)
+	priorsByB, err := e.priorsBatchSpan(sp, bvecs)
 	if err != nil {
 		return nil, err
 	}
@@ -557,6 +643,7 @@ func (e *Engine) AttackSweep(res *anonymize.Result, bvecs [][]float64, t float64
 	for gi, g := range res.Groups {
 		counts[gi] = e.groupCounts(g)
 	}
+	isp := sp.Child(obs.StageInference, "inference sweep "+e.Method.Name())
 	perGroup := parallel.Map(e.Workers(), nb*ng, func(i int) groupAttack {
 		return e.attackGroup(res.Groups[i%ng], priorsByB[i/ng], counts[i%ng], breach, t)
 	})
@@ -564,6 +651,7 @@ func (e *Engine) AttackSweep(res *anonymize.Result, bvecs [][]float64, t float64
 	for bi := range reports {
 		reports[bi] = e.reduceAttack(res, perGroup[bi*ng:(bi+1)*ng])
 	}
+	isp.End()
 	return reports, nil
 }
 

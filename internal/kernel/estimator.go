@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/hierarchy"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/prob"
 )
@@ -141,7 +142,14 @@ func UniformBandwidth(d int, b float64) []float64 {
 // Priors estimates the prior belief distribution for every record in
 // the table under bandwidth vector b. The result is indexed by record.
 func (e *Estimator) Priors(b []float64) ([]prob.Dist, error) {
-	perProfile, err := e.ProfilePriors(b)
+	return e.PriorsSpan(nil, b)
+}
+
+// PriorsSpan is Priors recording its weight-table build and prior pass
+// as stage spans under sp — the serving layer's traced entry point. A
+// nil span is a free no-op, so Priors simply delegates.
+func (e *Estimator) PriorsSpan(sp *obs.Span, b []float64) ([]prob.Dist, error) {
+	perProfile, err := e.profilePriors(sp, b)
 	if err != nil {
 		return nil, err
 	}
@@ -164,13 +172,21 @@ func (e *Estimator) expand(perProfile []prob.Dist) []prob.Dist {
 // across the estimator's pool with each profile's Nadaraya–Watson sum
 // self-contained, so the result is bit-identical at any worker count.
 func (e *Estimator) ProfilePriors(b []float64) ([]prob.Dist, error) {
+	return e.profilePriors(nil, b)
+}
+
+// profilePriors is ProfilePriors with a span: the memoized table build
+// and the blocked pass each record one stage observation.
+func (e *Estimator) profilePriors(sp *obs.Span, b []float64) ([]prob.Dist, error) {
 	if err := e.validateBandwidth(b); err != nil {
 		return nil, err
 	}
-	ft := e.weightTables(b)
+	ft := e.weightTables(sp, b)
 	n, m := e.packed.N, e.packed.M
+	psp := sp.Child(obs.StagePriors, "priors b="+BandwidthKey(b))
 	backing := make([]float64, n*m)
 	e.priorPass(ft, backing)
+	psp.End()
 	return sliceDists(backing, n, m), nil
 }
 
@@ -182,6 +198,12 @@ func (e *Estimator) ProfilePriors(b []float64) ([]prob.Dist, error) {
 // across bandwidths. out[k] is bit-identical to ProfilePriors(bvecs[k])
 // at any worker count.
 func (e *Estimator) ProfilePriorsBatch(bvecs [][]float64) ([][]prob.Dist, error) {
+	return e.profilePriorsBatch(nil, bvecs)
+}
+
+// profilePriorsBatch is ProfilePriorsBatch with a span: one stage
+// observation per missing weight table, one for the whole fused pass.
+func (e *Estimator) profilePriorsBatch(sp *obs.Span, bvecs [][]float64) ([][]prob.Dist, error) {
 	if len(bvecs) == 0 {
 		return nil, nil
 	}
@@ -190,9 +212,10 @@ func (e *Estimator) ProfilePriorsBatch(bvecs [][]float64) ([][]prob.Dist, error)
 		if err := e.validateBandwidth(b); err != nil {
 			return nil, err
 		}
-		fts[k] = e.weightTables(b)
+		fts[k] = e.weightTables(sp, b)
 	}
 	n, m := e.packed.N, e.packed.M
+	psp := sp.Child(obs.StagePriors, "priors batch n="+strconv.Itoa(len(bvecs)))
 	outs := make([][]float64, len(bvecs))
 	for k := range outs {
 		outs[k] = make([]float64, n*m)
@@ -207,6 +230,7 @@ func (e *Estimator) ProfilePriorsBatch(bvecs [][]float64) ([][]prob.Dist, error)
 		}
 		e.priorPassBatch(fts[c0:c1], outs[c0:c1])
 	}
+	psp.End()
 	dists := make([][]prob.Dist, len(bvecs))
 	for k := range outs {
 		dists[k] = sliceDists(outs[k], n, m)
@@ -218,7 +242,12 @@ func (e *Estimator) ProfilePriorsBatch(bvecs [][]float64) ([][]prob.Dist, error)
 // bit-identical to Priors(bvecs[k]), with the whole grid computed in
 // one fused pass.
 func (e *Estimator) PriorsBatch(bvecs [][]float64) ([][]prob.Dist, error) {
-	perProfile, err := e.ProfilePriorsBatch(bvecs)
+	return e.PriorsBatchSpan(nil, bvecs)
+}
+
+// PriorsBatchSpan is PriorsBatch recording stage spans under sp.
+func (e *Estimator) PriorsBatchSpan(sp *obs.Span, bvecs [][]float64) ([][]prob.Dist, error) {
+	perProfile, err := e.profilePriorsBatch(sp, bvecs)
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +264,7 @@ func (e *Estimator) PriorAt(q []int, b []float64) (prob.Dist, error) {
 	if err := e.validateBandwidth(b); err != nil {
 		return nil, err
 	}
-	return e.priorAtPoint(q, e.weightTables(b)), nil
+	return e.priorAtPoint(q, e.weightTables(nil, b)), nil
 }
 
 // BandwidthKey renders a bandwidth vector as a canonical cache key,
@@ -251,9 +280,15 @@ func BandwidthKey(b []float64) string {
 
 // weightTables returns the memoized flat weight tables for a bandwidth
 // vector, computing them exactly once per bandwidth across all callers.
-func (e *Estimator) weightTables(b []float64) *flatTables {
+// The stage span is recorded inside the memoized closure, so only the
+// caller that actually builds the table pays — and is attributed — the
+// cost; everyone sharing the memo attaches nothing.
+func (e *Estimator) weightTables(sp *obs.Span, b []float64) *flatTables {
 	ft, _ := e.wmemo.Do(BandwidthKey(b), func() (*flatTables, error) {
-		return e.buildFlat(b), nil
+		tsp := sp.Child(obs.StageKernelTable, "kernel-table b="+BandwidthKey(b))
+		ft := e.buildFlat(b)
+		tsp.End()
+		return ft, nil
 	})
 	return ft
 }

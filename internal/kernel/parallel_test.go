@@ -96,12 +96,12 @@ func TestWeightTablesMemoized(t *testing.T) {
 		t.Fatal(err)
 	}
 	b1 := UniformBandwidth(tab.Schema.D(), 0.3)
-	w1 := e.weightTables(b1)
-	w2 := e.weightTables(b1)
+	w1 := e.weightTables(nil, b1)
+	w2 := e.weightTables(nil, b1)
 	if w1 != w2 {
 		t.Error("repeated bandwidth recomputed the weight tables instead of hitting the memo")
 	}
-	w3 := e.weightTables(UniformBandwidth(tab.Schema.D(), 0.5))
+	w3 := e.weightTables(nil, UniformBandwidth(tab.Schema.D(), 0.5))
 	if w1 == w3 {
 		t.Error("distinct bandwidths shared one memo entry")
 	}
@@ -119,7 +119,7 @@ func TestWeightTablesConcurrentFirstUse(t *testing.T) {
 	b := UniformBandwidth(tab.Schema.D(), 0.4)
 	done := make(chan *flatTables, 16)
 	for i := 0; i < 16; i++ {
-		go func() { done <- e.weightTables(b) }()
+		go func() { done <- e.weightTables(nil, b) }()
 	}
 	want := <-done
 	for i := 1; i < 16; i++ {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/anonymize"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/privacy"
 )
@@ -40,10 +41,16 @@ type Partitioner struct {
 	Workers int
 	// ParallelDepth overrides DefaultParallelDepth when positive.
 	ParallelDepth int
+	// Span, when set by a traced caller, records the whole recursion
+	// as one mondrian stage span — a single coarse observation, so the
+	// per-split hot path stays untimed. Nil is a free no-op.
+	Span *obs.Span
 }
 
 // Anonymize runs Mondrian and returns the anonymized result.
 func (p *Partitioner) Anonymize() *anonymize.Result {
+	sp := p.Span.StartStage(obs.StageMondrian)
+	defer sp.End()
 	rows := make([]int, p.Table.N())
 	for i := range rows {
 		rows[i] = i

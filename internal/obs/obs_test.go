@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	tc := tr.Start("GET /x")
+	if tc != nil {
+		t.Fatalf("nil tracer minted a trace")
+	}
+	if got := tc.ID(); got != "" {
+		t.Fatalf("nil trace ID = %q", got)
+	}
+	sp := tc.Root()
+	if sp != nil {
+		t.Fatalf("nil trace has a root span")
+	}
+	// The whole instrumented surface must be callable on nil.
+	c := sp.Child(StageMondrian, "mondrian")
+	if c != nil {
+		t.Fatalf("nil span handed out a real child")
+	}
+	c.StartStage(StagePriors).End()
+	c.End()
+	c.SetOutcome("hit")
+	if c.Outcome() != "" || c.Duration() != 0 {
+		t.Fatalf("nil span retained state")
+	}
+	tc.SetStatus(200)
+	tc.Finish()
+	var g *Stages
+	g.Observe(StagePriors, time.Millisecond)
+	if snap := g.Snapshot(); len(snap) != 0 {
+		t.Fatalf("nil stages snapshot = %v", snap)
+	}
+	if Breakdown(nil) != nil {
+		t.Fatalf("nil breakdown non-nil")
+	}
+	var r *Ring
+	r.Add(nil)
+	if r.Snapshot(0) != nil {
+		t.Fatalf("nil ring snapshot non-nil")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if SpanFromContext(context.Background()) != nil {
+		t.Fatalf("empty context produced a span")
+	}
+	tr := NewTracer(4)
+	tc := tr.Start("POST /v1/anonymize")
+	ctx := ContextWithSpan(context.Background(), tc.Root())
+	if SpanFromContext(ctx) != tc.Root() {
+		t.Fatalf("span did not round-trip through context")
+	}
+	// A nil span must not poison the context chain.
+	if got := SpanFromContext(ContextWithSpan(context.Background(), nil)); got != nil {
+		t.Fatalf("nil span round-tripped as %v", got)
+	}
+}
+
+func TestSpanTreeAndBreakdown(t *testing.T) {
+	tr := NewTracer(4)
+	tc := tr.Start("POST /v1/anonymize")
+	root := tc.Root()
+	p := root.Child(StageNone, "pipeline")
+	p.StartStage(StagePriors).End()
+	p.StartStage(StagePriors).End()
+	p.StartStage(StageMondrian).End()
+	p.End()
+	tc.SetStatus(200)
+	tc.Finish()
+
+	bd := Breakdown(root)
+	want := map[string]int64{"mondrian": 1, "priors": 2}
+	if len(bd) != len(want) {
+		t.Fatalf("breakdown = %+v, want stages %v", bd, want)
+	}
+	for _, st := range bd {
+		if want[st.Stage] != st.Count {
+			t.Errorf("stage %s count = %d, want %d", st.Stage, st.Count, want[st.Stage])
+		}
+		if st.Seconds < 0 {
+			t.Errorf("stage %s has negative seconds", st.Stage)
+		}
+	}
+	// The same passes landed in the aggregate ledger.
+	snap := tr.Stages().Snapshot()
+	if snap["priors"].Count != 2 || snap["mondrian"].Count != 1 {
+		t.Fatalf("stages ledger = %v", snap)
+	}
+	if _, ok := snap["inference"]; ok {
+		t.Fatalf("unobserved stage present in snapshot")
+	}
+}
+
+func TestTraceIDsAreSequential(t *testing.T) {
+	tr := NewTracer(4)
+	a, b := tr.Start("GET /a"), tr.Start("GET /b")
+	if a.ID() != "req_1" || b.ID() != "req_2" {
+		t.Fatalf("ids = %q, %q, want req_1, req_2", a.ID(), b.ID())
+	}
+	j := tr.StartNamed("job_0000002a", "job anonymize")
+	if j.ID() != "job_0000002a" {
+		t.Fatalf("named id = %q", j.ID())
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{999 * time.Nanosecond, 0},
+		{time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{time.Millisecond, 10},
+		{time.Hour, histBuckets - 1}, // overflow clamps to the top bin
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	var h Hist
+	h.Observe(time.Millisecond)
+	h.Observe(time.Millisecond)
+	h.Observe(time.Hour)
+	if n := h.count.Load(); n != 3 {
+		t.Fatalf("count = %d", n)
+	}
+	if c := h.bucket[10].Load(); c != 2 {
+		t.Fatalf("millisecond bin = %d, want 2", c)
+	}
+}
+
+// TestStagesConcurrent hammers one ledger from many goroutines while
+// snapshotting — the -race check for the mutex-free histograms.
+func TestStagesConcurrent(t *testing.T) {
+	g := &Stages{}
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				g.Observe(StagePriors, time.Duration(w*i)*time.Microsecond)
+				if i%100 == 0 {
+					g.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := g.Snapshot()
+	if snap["priors"].Count != workers*per {
+		t.Fatalf("count = %d, want %d", snap["priors"].Count, workers*per)
+	}
+	var inBuckets int64
+	for _, b := range snap["priors"].Buckets {
+		inBuckets += b.Count
+	}
+	if inBuckets != workers*per {
+		t.Fatalf("bucket sum = %d, want %d", inBuckets, workers*per)
+	}
+}
+
+// TestSpanChildrenConcurrent attaches children from many goroutines —
+// the singleflight-leader and worker-pool shape — under -race.
+func TestSpanChildrenConcurrent(t *testing.T) {
+	tr := NewTracer(4)
+	tc := tr.Start("POST /v1/attack")
+	root := tc.Root()
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			root.StartStage(StageInference).End()
+		}()
+	}
+	wg.Wait()
+	tc.Finish()
+	views := tr.Ring().Snapshot(0)
+	if len(views) != 1 || len(views[0].Spans) != workers {
+		t.Fatalf("trace view = %+v, want %d child spans", views, workers)
+	}
+}
+
+func TestRingBoundAndOrder(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tc := tr.Start("GET /x")
+		tc.Finish()
+	}
+	views := tr.Ring().Snapshot(0)
+	if len(views) != 3 {
+		t.Fatalf("ring kept %d traces, want 3", len(views))
+	}
+	// Newest first; the two oldest were evicted.
+	if views[0].ID != "req_5" || views[2].ID != "req_3" {
+		t.Fatalf("ring order = [%s %s %s]", views[0].ID, views[1].ID, views[2].ID)
+	}
+}
+
+func TestRingSlowFilter(t *testing.T) {
+	tr := NewTracer(8)
+	fast := tr.Start("GET /fast")
+	fast.Finish()
+	slow := tr.StartNamed("req_slow", "GET /slow")
+	slow.Root().dur = 0 // Finish overwrites; set after
+	slow.Finish()
+	slow.Root().dur = 50 * time.Millisecond
+	// Rebuild the view with the forced duration.
+	tr.Ring().Add(slow)
+	views := tr.Ring().Snapshot(10 * time.Millisecond)
+	for _, v := range views {
+		if v.DurMilli < 10 {
+			t.Fatalf("filter kept fast trace %+v", v)
+		}
+	}
+	found := false
+	for _, v := range views {
+		if v.ID == "req_slow" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("filter dropped the slow trace: %+v", views)
+	}
+}

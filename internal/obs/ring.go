@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SpanView is one span rendered for the debug surface: offset from
+// the trace start, duration, and children in attach order.
+type SpanView struct {
+	Name        string     `json:"name"`
+	Stage       string     `json:"stage,omitempty"`
+	OffsetMilli float64    `json:"offset_ms"`
+	DurMilli    float64    `json:"duration_ms"`
+	Children    []SpanView `json:"children,omitempty"`
+}
+
+// TraceView is one finished trace rendered for GET /debug/traces.
+type TraceView struct {
+	ID       string     `json:"id"`
+	Op       string     `json:"op"`
+	Status   int        `json:"status,omitempty"`
+	Outcome  string     `json:"outcome,omitempty"`
+	DurMilli float64    `json:"duration_ms"`
+	Spans    []SpanView `json:"spans,omitempty"`
+}
+
+// Ring keeps the last cap finished traces as immutable views, so the
+// debug endpoint retains no span trees, engines, or request bodies —
+// just small rendered records.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []TraceView
+	next int
+	n    int
+}
+
+func newRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]TraceView, capacity)}
+}
+
+// Add renders a finished trace and admits it. Nil-safe on both sides.
+func (r *Ring) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	root := t.root
+	v := TraceView{
+		ID:       t.id,
+		Op:       t.op,
+		Status:   t.status,
+		Outcome:  root.Outcome(),
+		DurMilli: float64(root.dur) / float64(time.Millisecond),
+		Spans:    childViews(root, root.start),
+	}
+	r.mu.Lock()
+	r.buf[r.next] = v
+	r.next = (r.next + 1) % len(r.buf)
+	r.n++
+	r.mu.Unlock()
+}
+
+// childViews renders a span's children relative to the trace start.
+func childViews(s *Span, t0 time.Time) []SpanView {
+	s.mu.Lock()
+	children := s.children
+	s.mu.Unlock()
+	if len(children) == 0 {
+		return nil
+	}
+	out := make([]SpanView, len(children))
+	for i, c := range children {
+		out[i] = SpanView{
+			Name:        c.name,
+			Stage:       c.stage.String(),
+			OffsetMilli: float64(c.start.Sub(t0)) / float64(time.Millisecond),
+			DurMilli:    float64(c.dur) / float64(time.Millisecond),
+			Children:    childViews(c, t0),
+		}
+	}
+	return out
+}
+
+// Snapshot returns the retained traces, newest first. min filters out
+// traces faster than the threshold (0 keeps everything).
+func (r *Ring) Snapshot(min time.Duration) []TraceView {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.n
+	if size > len(r.buf) {
+		size = len(r.buf)
+	}
+	out := make([]TraceView, 0, size)
+	for i := 0; i < size; i++ {
+		v := r.buf[((r.next-1-i)%len(r.buf)+len(r.buf))%len(r.buf)]
+		if time.Duration(v.DurMilli*float64(time.Millisecond)) < min {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets sizes the log-bucketed duration histograms: bucket k
+// holds durations in [2^(k-1), 2^k) microseconds (bucket 0 is the
+// sub-microsecond bin), so 26 buckets span 1µs to ~33.5s with the last
+// bucket absorbing overflow.
+const histBuckets = 26
+
+// Hist is a mutex-free duration histogram: count, total, and
+// log-bucketed distribution, all plain atomics so hot paths observe
+// with three uncontended adds and /metrics snapshots without stopping
+// anyone. A snapshot taken mid-observation may be torn by one sample
+// across fields — fine for a metrics surface.
+type Hist struct {
+	count  atomic.Int64
+	sumNS  atomic.Int64
+	bucket [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps a duration to its log2 microsecond bucket.
+func bucketIndex(d time.Duration) int {
+	if d < time.Microsecond {
+		return 0
+	}
+	b := bits.Len64(uint64(d / time.Microsecond))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *Hist) Observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	h.bucket[bucketIndex(d)].Add(1)
+}
+
+// HistBucket is one non-empty histogram bin in a snapshot: Count
+// samples at or below LeMicros (and above the previous bin's bound);
+// the top bin also absorbs anything beyond the histogram's range.
+type HistBucket struct {
+	LeMicros int64 `json:"le_us"`
+	Count    int64 `json:"count"`
+}
+
+// StageStats is one stage's ledger entry in a snapshot. These are the
+// empirical cost coefficients admission control will consume: Count
+// passes observed, TotalSeconds spent, and the latency shape in
+// Buckets (non-empty bins only).
+type StageStats struct {
+	Count        int64        `json:"count"`
+	TotalSeconds float64      `json:"total_seconds"`
+	Buckets      []HistBucket `json:"buckets,omitempty"`
+}
+
+// Stages is the aggregate per-stage ledger: one histogram per pipeline
+// stage, shared by every trace of a server. The zero value is ready;
+// a nil *Stages ignores observations.
+type Stages struct {
+	hists [numStages]Hist
+}
+
+// Observe folds one stage pass into the ledger.
+func (g *Stages) Observe(st Stage, d time.Duration) {
+	if g == nil || st <= StageNone || st >= numStages {
+		return
+	}
+	g.hists[st].Observe(d)
+}
+
+// Snapshot returns the ledger keyed by stage name, omitting stages
+// with no observations. Iteration over the fixed stage array keeps the
+// key set deterministic.
+func (g *Stages) Snapshot() map[string]StageStats {
+	out := map[string]StageStats{}
+	if g == nil {
+		return out
+	}
+	for st := StageNone + 1; st < numStages; st++ {
+		h := &g.hists[st]
+		n := h.count.Load()
+		if n == 0 {
+			continue
+		}
+		stats := StageStats{
+			Count:        n,
+			TotalSeconds: float64(h.sumNS.Load()) / float64(time.Second),
+		}
+		for k := 0; k < histBuckets; k++ {
+			if c := h.bucket[k].Load(); c > 0 {
+				stats.Buckets = append(stats.Buckets, HistBucket{LeMicros: 1 << k, Count: c})
+			}
+		}
+		out[st.String()] = stats
+	}
+	return out
+}
+
+// StageTiming is one stage's aggregate within a single trace — the
+// per-release breakdown GET /v1/releases/{id}?stages=1 reports.
+type StageTiming struct {
+	Stage   string  `json:"stage"`
+	Count   int64   `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Breakdown aggregates a finished span tree by stage, in stage-enum
+// order. Nil (untraced) roots return nil.
+func Breakdown(root *Span) []StageTiming {
+	if root == nil {
+		return nil
+	}
+	var counts [numStages]int64
+	var totals [numStages]time.Duration
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		if s.stage > StageNone && s.stage < numStages {
+			counts[s.stage]++
+			totals[s.stage] += s.dur
+		}
+		// The tree is finished: no concurrent appends remain, but take
+		// the lock anyway so a racy caller fails loudly under -race
+		// rather than reading a torn slice header.
+		s.mu.Lock()
+		children := s.children
+		s.mu.Unlock()
+		for _, c := range children {
+			walk(c)
+		}
+	}
+	walk(root)
+	var out []StageTiming
+	for st := StageNone + 1; st < numStages; st++ {
+		if counts[st] > 0 {
+			out = append(out, StageTiming{
+				Stage:   st.String(),
+				Count:   counts[st],
+				Seconds: totals[st].Seconds(),
+			})
+		}
+	}
+	return out
+}

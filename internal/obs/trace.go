@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"strconv"
+	"sync/atomic"
+)
+
+// Trace is one request's (or job's) span tree plus the identity and
+// outcome metadata the request logger and debug ring report. All
+// methods are nil-safe, so an untraced server threads nil traces at
+// zero cost.
+type Trace struct {
+	id     string
+	op     string
+	tracer *Tracer
+	root   *Span
+	status int
+}
+
+// ID returns the trace's request id ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Root returns the root span callers put into request contexts (nil
+// on nil, which SpanFromContext-side code already tolerates).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// SetStatus records the response status for the trace view.
+func (t *Trace) SetStatus(code int) {
+	if t == nil {
+		return
+	}
+	t.status = code
+}
+
+// Finish ends the root span and admits the trace to the tracer's
+// ring, returning the root duration.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.root.End()
+	t.tracer.ring.Add(t)
+}
+
+// Tracer mints traces for a server: a shared stages ledger, a bounded
+// ring of finished traces, and a monotonic request-id counter. The
+// counter — not the clock — names traces, so trace ids are process-
+// local correlation handles and never a nondeterminism side channel.
+// A nil *Tracer mints nil traces, turning the whole layer off.
+type Tracer struct {
+	stages *Stages
+	ring   *Ring
+	seq    atomic.Uint64
+}
+
+// NewTracer builds a tracer whose ring keeps the last ringSize
+// finished traces (clamped to at least 1).
+func NewTracer(ringSize int) *Tracer {
+	return &Tracer{stages: &Stages{}, ring: newRing(ringSize)}
+}
+
+// Stages exposes the aggregate ledger (nil-safe; /metrics).
+func (tr *Tracer) Stages() *Stages {
+	if tr == nil {
+		return nil
+	}
+	return tr.stages
+}
+
+// Ring exposes the finished-trace ring (nil-safe; /debug/traces).
+func (tr *Tracer) Ring() *Ring {
+	if tr == nil {
+		return nil
+	}
+	return tr.ring
+}
+
+// Start mints a trace for one request, named op (conventionally
+// "METHOD /path"). The id is req_<seq>.
+func (tr *Tracer) Start(op string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	return tr.StartNamed("req_"+strconv.FormatUint(tr.seq.Add(1), 10), op)
+}
+
+// StartNamed mints a trace with a caller-chosen id — async jobs reuse
+// their job id, so log lines, job polls, and traces join on one handle.
+func (tr *Tracer) StartNamed(id, op string) *Trace {
+	if tr == nil {
+		return nil
+	}
+	return &Trace{
+		id:     id,
+		op:     op,
+		tracer: tr,
+		root:   newSpan(StageNone, op, tr.stages),
+	}
+}

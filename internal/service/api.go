@@ -44,6 +44,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // DatasetRequest asks for a synthetic table under a registered schema
@@ -257,6 +259,11 @@ type ReleaseInfo struct {
 	Records     int     `json:"records"`
 	AvgGroup    float64 `json:"avg_group"`
 	Seconds     float64 `json:"seconds"`
+	// Stages is the pipeline's per-stage timing breakdown, present only
+	// with ?stages=1 and only when this process ran the pipeline under
+	// tracing. It is diagnostic metadata, not release content: omitted
+	// by default so the body stays byte-identical across restarts.
+	Stages []obs.StageTiming `json:"stages,omitempty"`
 }
 
 // JobResponse describes an async anonymize job: the 202 body at

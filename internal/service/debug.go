@@ -1,0 +1,54 @@
+package service
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TracesResponse is the GET /debug/traces payload: recent finished
+// traces, newest first, filtered to those at least min_ms slow.
+type TracesResponse struct {
+	Traces []obs.TraceView `json:"traces"`
+}
+
+// DebugHandler returns the diagnostics surface cmd/serve mounts on its
+// separate -debug-addr listener: GET /debug/traces (recent slow traces
+// from the tracer's ring, ?min_ms= filter) plus the standard
+// net/http/pprof endpoints under /debug/pprof/. It is a distinct
+// handler — not part of ServeHTTP — so production traffic and the
+// profiling surface never share a listener.
+func (s *Server) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// handleDebugTraces serves the ring of recent finished traces. The
+// min_ms query overrides the configured SlowTraceMillis threshold;
+// traces faster than the threshold are omitted. With tracing disabled
+// the list is empty rather than an error, so probes stay cheap.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	min := time.Duration(s.cfg.SlowTraceMillis) * time.Millisecond
+	if q := r.URL.Query().Get("min_ms"); q != "" {
+		ms, err := strconv.ParseFloat(q, 64)
+		if err != nil || ms < 0 {
+			writeErr(w, http.StatusBadRequest, "min_ms must be a non-negative number (got %q)", q)
+			return
+		}
+		min = time.Duration(ms * float64(time.Millisecond))
+	}
+	views := s.tracer.Ring().Snapshot(min)
+	if views == nil {
+		views = []obs.TraceView{}
+	}
+	writeJSON(w, http.StatusOK, TracesResponse{Traces: views})
+}

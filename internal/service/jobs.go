@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -242,7 +243,19 @@ func (s *Server) startJobWorkers(n int) {
 		for j := range s.jobs.ch {
 			s.jobs.setRunning(j)
 			s.metrics.JobsRunning.Add(1)
-			_, _, err := s.resolveOrCompute(j.ds, j.req)
+			// Each job gets its own trace, named by the job id so log
+			// lines, poll responses, and /debug/traces join on one
+			// handle; the pipeline's stage spans hang off its root.
+			tc := s.tracer.StartNamed(j.id, "job anonymize")
+			ctx := obs.ContextWithSpan(context.Background(), tc.Root())
+			_, src, err := s.resolveOrCompute(ctx, j.ds, j.req)
+			tc.Root().SetOutcome(src.String())
+			if err != nil {
+				tc.SetStatus(500)
+			} else {
+				tc.SetStatus(200)
+			}
+			tc.Finish()
 			s.metrics.JobsRunning.Add(-1)
 			s.jobs.finish(j, err)
 			if err != nil {

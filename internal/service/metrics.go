@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // latWindow is the per-endpoint latency sample window. Quantiles are
@@ -14,12 +16,14 @@ import (
 // load rather than its whole history.
 const latWindow = 1024
 
-// latencyRing holds the last latWindow durations for one endpoint.
+// latencyRing holds the last latWindow durations for one endpoint,
+// plus the endpoint's lifetime request and error counts.
 type latencyRing struct {
 	samples [latWindow]time.Duration
 	next    int
 	filled  bool
 	count   int64
+	errors  int64
 }
 
 func (r *latencyRing) observe(d time.Duration) {
@@ -105,8 +109,10 @@ func newMetrics() *Metrics {
 	return &Metrics{start: time.Now(), lat: map[string]*latencyRing{}}
 }
 
-// observe records one completed request for the named endpoint.
-func (m *Metrics) observe(endpoint string, d time.Duration) {
+// observe records one completed request for the named endpoint,
+// counting responses with status >= 400 into the endpoint's error
+// tally (the global Errors counter aggregates across endpoints).
+func (m *Metrics) observe(endpoint string, d time.Duration, status int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	r, ok := m.lat[endpoint]
@@ -115,6 +121,9 @@ func (m *Metrics) observe(endpoint string, d time.Duration) {
 		m.lat[endpoint] = r
 	}
 	r.observe(d)
+	if status >= 400 {
+		r.errors++
+	}
 }
 
 // countStore folds a store access into the cache counters. A disk
@@ -135,6 +144,7 @@ func (m *Metrics) countStore(src source) {
 // EndpointStats is one endpoint's latency summary in a snapshot.
 type EndpointStats struct {
 	Count    int64   `json:"count"`
+	Errors   int64   `json:"errors"`
 	P50Milli float64 `json:"p50_ms"`
 	P99Milli float64 `json:"p99_ms"`
 }
@@ -189,10 +199,15 @@ type Snapshot struct {
 	Jobs          JobStats                 `json:"jobs"`
 	Persist       PersistStats             `json:"persist"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
+	// Stages is the aggregate per-stage duration ledger (count, total
+	// seconds, log-bucketed histogram) from the tracing substrate —
+	// empty when tracing is disabled.
+	Stages map[string]obs.StageStats `json:"stages"`
 }
 
-// snapshot assembles the current counter and latency state.
-func (m *Metrics) snapshot(releases, datasets, pendingJobs int) Snapshot {
+// snapshot assembles the current counter and latency state. stages is
+// the tracer's ledger snapshot (empty map when tracing is off).
+func (m *Metrics) snapshot(releases, datasets, pendingJobs int, stages map[string]obs.StageStats) Snapshot {
 	s := Snapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests:      m.Requests.Value(),
@@ -227,6 +242,7 @@ func (m *Metrics) snapshot(releases, datasets, pendingJobs int) Snapshot {
 			DatasetLoads: m.PersistDatasetLoads.Value(),
 		},
 		Endpoints: map[string]EndpointStats{},
+		Stages:    stages,
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -241,7 +257,7 @@ func (m *Metrics) snapshot(releases, datasets, pendingJobs int) Snapshot {
 	for _, name := range names {
 		r := m.lat[name]
 		qs := r.quantiles(0.50, 0.99)
-		s.Endpoints[name] = EndpointStats{Count: r.count, P50Milli: qs[0], P99Milli: qs[1]}
+		s.Endpoints[name] = EndpointStats{Count: r.count, Errors: r.errors, P50Milli: qs[0], P99Milli: qs[1]}
 	}
 	return s
 }

@@ -1,0 +1,407 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// hasStage reports whether any span in the views (recursively) carries
+// the stage name.
+func hasStage(views []obs.SpanView, stage string) bool {
+	for _, v := range views {
+		if v.Stage == stage || hasStage(v.Children, stage) {
+			return true
+		}
+	}
+	return false
+}
+
+// findTrace returns the newest trace whose op (or id) matches.
+func findTrace(views []obs.TraceView, op, id string) (obs.TraceView, bool) {
+	for _, v := range views {
+		if (op == "" || v.Op == op) && (id == "" || v.ID == id) {
+			return v, true
+		}
+	}
+	return obs.TraceView{}, false
+}
+
+// TestTraceSpanTreeSync checks the span tree of a synchronous
+// anonymize: the request is traced under its minted id (echoed as
+// X-Request-Id), and the resolve→pipeline chain hangs stage spans off
+// the root — mondrian for the partitioning pass, dataset_synth and
+// engine_build on the dataset-creation trace that preceded it.
+func TestTraceSpanTreeSync(t *testing.T) {
+	s, ts := newTestServerCfg(t, Config{Workers: 0, TraceRing: 32})
+	ds := createDataset(t, ts, 300, 1)
+
+	body := fmt.Sprintf(`{"dataset":%q,"model":"distinct","k":3,"l":3}`, ds)
+	resp, err := http.Post(ts.URL+"/v1/anonymize", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("anonymize: status %d", resp.StatusCode)
+	}
+	reqID := resp.Header.Get("X-Request-Id")
+	if reqID == "" {
+		t.Fatal("traced response missing X-Request-Id")
+	}
+
+	views := s.tracer.Ring().Snapshot(0)
+	tv, ok := findTrace(views, "POST /v1/anonymize", reqID)
+	if !ok {
+		t.Fatalf("no trace for POST /v1/anonymize id %s in ring (%d traces)", reqID, len(views))
+	}
+	if tv.Status != http.StatusOK {
+		t.Fatalf("trace status = %d, want 200", tv.Status)
+	}
+	if tv.Outcome != "miss" {
+		t.Fatalf("first anonymize outcome = %q, want miss", tv.Outcome)
+	}
+	if !hasStage(tv.Spans, "mondrian") {
+		t.Fatalf("anonymize trace lacks a mondrian stage span: %+v", tv.Spans)
+	}
+
+	dv, ok := findTrace(views, "POST /v1/datasets", "")
+	if !ok {
+		t.Fatal("no trace for POST /v1/datasets in ring")
+	}
+	for _, stage := range []string{"dataset_synth", "engine_build"} {
+		if !hasStage(dv.Spans, stage) {
+			t.Fatalf("dataset trace lacks %s span: %+v", stage, dv.Spans)
+		}
+	}
+
+	// The attack path's inference pass is a stage span too.
+	code, _ := post(t, ts, "/v1/attack", fmt.Sprintf(`{"release":%q,"bprime":0.4}`,
+		mustReleaseID(t, ts, ds)))
+	if code != http.StatusOK {
+		t.Fatalf("attack: status %d", code)
+	}
+	av, ok := findTrace(s.tracer.Ring().Snapshot(0), "POST /v1/attack", "")
+	if !ok {
+		t.Fatal("no trace for POST /v1/attack in ring")
+	}
+	if !hasStage(av.Spans, "inference") {
+		t.Fatalf("attack trace lacks inference span: %+v", av.Spans)
+	}
+}
+
+// mustReleaseID re-anonymizes (cached) to learn the release id.
+func mustReleaseID(t *testing.T, ts *httptest.Server, ds string) string {
+	t.Helper()
+	code, body := post(t, ts, "/v1/anonymize",
+		fmt.Sprintf(`{"dataset":%q,"model":"distinct","k":3,"l":3}`, ds))
+	if code != http.StatusOK {
+		t.Fatalf("anonymize: status %d: %s", code, body)
+	}
+	return mustJSON[AnonymizeResponse](t, body).Release
+}
+
+// TestTraceAsyncJob checks that an async anonymize is traced under its
+// job id — the same handle the poll endpoint reports — with the
+// pipeline's stage spans attached, so logs, polls, and /debug/traces
+// join on one name.
+func TestTraceAsyncJob(t *testing.T) {
+	s, ts := newTestServerCfg(t, Config{Workers: 0, TraceRing: 32, JobWorkers: 1})
+	ds := createDataset(t, ts, 300, 2)
+
+	code, body := post(t, ts, "/v1/anonymize",
+		fmt.Sprintf(`{"dataset":%q,"model":"distinct","k":3,"l":3,"async":true}`, ds))
+	if code != http.StatusAccepted {
+		t.Fatalf("async anonymize: status %d: %s", code, body)
+	}
+	jr := mustJSON[JobResponse](t, body)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body = get(t, ts, "/v1/jobs/"+jr.Job)
+		if code != http.StatusOK {
+			t.Fatalf("job poll: status %d: %s", code, body)
+		}
+		st := mustJSON[JobResponse](t, body).State
+		if st == "done" {
+			break
+		}
+		if st == "failed" || time.Now().After(deadline) {
+			t.Fatalf("job did not finish: state %s", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	tv, ok := findTrace(s.tracer.Ring().Snapshot(0), "job anonymize", jr.Job)
+	if !ok {
+		t.Fatalf("no trace named by job id %s in ring", jr.Job)
+	}
+	if tv.Status != http.StatusOK || tv.Outcome != "miss" {
+		t.Fatalf("job trace status/outcome = %d/%q, want 200/miss", tv.Status, tv.Outcome)
+	}
+	if !hasStage(tv.Spans, "mondrian") {
+		t.Fatalf("job trace lacks mondrian span: %+v", tv.Spans)
+	}
+}
+
+// TestSingleflightFollowerAttribution fires identical concurrent
+// anonymize requests and checks the shared pipeline run is attributed
+// exactly once: one trace owns the mondrian span; followers report
+// their outcome but attach no stage work.
+func TestSingleflightFollowerAttribution(t *testing.T) {
+	s, ts := newTestServerCfg(t, Config{Workers: 2, TraceRing: 64})
+	ds := createDataset(t, ts, 400, 3)
+
+	const racers = 8
+	body := fmt.Sprintf(`{"dataset":%q,"model":"distinct","k":4,"l":2}`, ds)
+	var wg sync.WaitGroup
+	errs := make(chan error, racers)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/anonymize", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	owners := 0
+	for _, tv := range s.tracer.Ring().Snapshot(0) {
+		if tv.Op == "POST /v1/anonymize" && hasStage(tv.Spans, "mondrian") {
+			owners++
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("mondrian pass attributed to %d traces, want exactly 1", owners)
+	}
+}
+
+// TestStagesLedgerAndErrorCounts drives the API across the pipeline
+// and checks the /metrics stages ledger reports every load-bearing
+// stage with plausible counts, and that per-endpoint error counts tick.
+func TestStagesLedgerAndErrorCounts(t *testing.T) {
+	_, ts := newTestServerCfg(t, Config{Workers: 0, DataDir: t.TempDir()})
+	ds := createDataset(t, ts, 300, 4)
+	rel := mustReleaseID(t, ts, ds)
+
+	if code, body := post(t, ts, "/v1/attack",
+		fmt.Sprintf(`{"release":%q,"bprime":0.4}`, rel)); code != http.StatusOK {
+		t.Fatalf("attack: status %d: %s", code, body)
+	}
+	// A malformed body must surface in the endpoint error counter.
+	if code, _ := post(t, ts, "/v1/anonymize", `{"dataset":`); code != http.StatusBadRequest {
+		t.Fatalf("malformed anonymize: status %d, want 400", code)
+	}
+
+	code, body := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	snap := mustJSON[Snapshot](t, body)
+	for _, stage := range []string{
+		"dataset_synth", "engine_build", "mondrian",
+		"kernel_table", "priors", "inference", "persist_write",
+	} {
+		st, ok := snap.Stages[stage]
+		if !ok || st.Count < 1 {
+			t.Fatalf("stages ledger missing %s (got %+v)", stage, snap.Stages)
+		}
+		if st.TotalSeconds < 0 || len(st.Buckets) == 0 {
+			t.Fatalf("stage %s has implausible stats: %+v", stage, st)
+		}
+	}
+	ep, ok := snap.Endpoints["POST /v1/anonymize"]
+	if !ok {
+		t.Fatalf("endpoints missing POST /v1/anonymize: %+v", snap.Endpoints)
+	}
+	if ep.Errors != 1 {
+		t.Fatalf("anonymize errors = %d, want 1", ep.Errors)
+	}
+	if snap.Endpoints["POST /v1/attack"].Errors != 0 {
+		t.Fatalf("attack errors = %d, want 0", snap.Endpoints["POST /v1/attack"].Errors)
+	}
+}
+
+// TestReleaseStageBreakdown checks GET /v1/releases/{id}?stages=1
+// returns the pipeline's per-stage breakdown while the default body
+// omits it (the restart-durability contract: stage metadata never
+// changes release bytes).
+func TestReleaseStageBreakdown(t *testing.T) {
+	_, ts := newTestServerCfg(t, Config{Workers: 0})
+	ds := createDataset(t, ts, 300, 5)
+	rel := mustReleaseID(t, ts, ds)
+
+	code, body := get(t, ts, "/v1/releases/"+rel)
+	if code != http.StatusOK {
+		t.Fatalf("release: status %d", code)
+	}
+	if strings.Contains(string(body), `"stages"`) {
+		t.Fatalf("default release body leaks stages: %s", body)
+	}
+
+	code, body = get(t, ts, "/v1/releases/"+rel+"?stages=1")
+	if code != http.StatusOK {
+		t.Fatalf("release?stages=1: status %d", code)
+	}
+	info := mustJSON[ReleaseInfo](t, body)
+	if len(info.Stages) == 0 {
+		t.Fatal("?stages=1 returned no stage breakdown")
+	}
+	found := false
+	for _, st := range info.Stages {
+		if st.Stage == "mondrian" && st.Count >= 1 && st.Seconds >= 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("breakdown lacks mondrian entry: %+v", info.Stages)
+	}
+}
+
+// TestDebugHandler exercises the diagnostics surface: /debug/traces
+// empty → populated, min_ms filtering and validation, and the pprof
+// mux answering.
+func TestDebugHandler(t *testing.T) {
+	s, ts := newTestServerCfg(t, Config{Workers: 0, TraceRing: 16})
+	dbg := httptest.NewServer(s.DebugHandler())
+	defer dbg.Close()
+
+	code, body := get(t, ts, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: status %d: %s", code, body)
+	}
+
+	resp, err := http.Get(dbg.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug traces: status %d", resp.StatusCode)
+	}
+	views := s.tracer.Ring().Snapshot(0)
+	if len(views) == 0 {
+		t.Fatal("ring empty after a traced request")
+	}
+
+	// min_ms filters everything at an absurd threshold, rejects garbage.
+	for _, tc := range []struct {
+		q    string
+		code int
+	}{
+		{"?min_ms=1e9", http.StatusOK},
+		{"?min_ms=-1", http.StatusBadRequest},
+		{"?min_ms=abc", http.StatusBadRequest},
+	} {
+		resp, err := http.Get(dbg.URL + "/debug/traces" + tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Fatalf("debug traces %s: status %d, want %d", tc.q, resp.StatusCode, tc.code)
+		}
+	}
+
+	resp, err = http.Get(dbg.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline: status %d", resp.StatusCode)
+	}
+}
+
+// TestTracingDisabledCoherence checks the off switch is coherent:
+// no request id header, no ring, no stages ledger — and the debug
+// endpoint degrades to an empty list rather than an error.
+func TestTracingDisabledCoherence(t *testing.T) {
+	s, ts := newTestServerCfg(t, Config{Workers: 0, DisableTracing: true})
+	ds := createDataset(t, ts, 200, 6)
+
+	resp, err := http.Post(ts.URL+"/v1/anonymize", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"dataset":%q,"model":"distinct","k":3,"l":3}`, ds)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "" {
+		t.Fatalf("untraced response carries X-Request-Id %q", got)
+	}
+
+	code, body := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	if snap := mustJSON[Snapshot](t, body); len(snap.Stages) != 0 {
+		t.Fatalf("stages ledger populated with tracing off: %+v", snap.Stages)
+	}
+
+	dbg := httptest.NewServer(s.DebugHandler())
+	defer dbg.Close()
+	dresp, err := http.Get(dbg.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("debug traces with tracing off: status %d", dresp.StatusCode)
+	}
+}
+
+// TestTracingDeterminism pins the observability boundary: release ids
+// and attack/risk response bytes are identical with tracing on or off,
+// at any worker count. Timing flows to metrics and the ring only —
+// never into content.
+func TestTracingDeterminism(t *testing.T) {
+	type result struct {
+		release      string
+		attack, risk string
+	}
+	run := func(disable bool, workers int) result {
+		t.Helper()
+		_, ts := newTestServerCfg(t, Config{Workers: workers, DisableTracing: disable})
+		ds := createDataset(t, ts, 300, 7)
+		rel := mustReleaseID(t, ts, ds)
+		code, attack := post(t, ts, "/v1/attack", fmt.Sprintf(`{"release":%q,"bprime":0.4}`, rel))
+		if code != http.StatusOK {
+			t.Fatalf("attack: status %d: %s", code, attack)
+		}
+		code, risk := post(t, ts, "/v1/risk", fmt.Sprintf(`{"release":%q,"bprime":0.4}`, rel))
+		if code != http.StatusOK {
+			t.Fatalf("risk: status %d: %s", code, risk)
+		}
+		return result{release: rel, attack: string(attack), risk: string(risk)}
+	}
+
+	want := run(false, 1)
+	for _, cfg := range []struct {
+		disable bool
+		workers int
+	}{{true, 1}, {false, 4}, {true, 4}} {
+		got := run(cfg.disable, cfg.workers)
+		if got != want {
+			t.Fatalf("tracing=%v workers=%d diverged:\n got %+v\nwant %+v",
+				!cfg.disable, cfg.workers, got, want)
+		}
+	}
+}

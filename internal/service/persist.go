@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/anonymize"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/schema"
 )
 
@@ -280,10 +282,12 @@ func (d *diskStore) loadRelease(id string) (releaseRecord, error) {
 // persistDataset writes a dataset manifest through to disk (no-op
 // without a durable tier). Failures are counted, not fatal: the
 // in-memory entry is already live; only durability degrades.
-func (s *Server) persistDataset(rec datasetRecord, csvBody []byte) {
+func (s *Server) persistDataset(sp *obs.Span, rec datasetRecord, csvBody []byte) {
 	if s.disk == nil {
 		return
 	}
+	wsp := sp.Child(obs.StagePersistWrite, "persist dataset "+rec.ID)
+	defer wsp.End()
 	if err := s.disk.saveDataset(rec, csvBody); err != nil {
 		s.metrics.PersistErrors.Add(1)
 		return
@@ -292,10 +296,12 @@ func (s *Server) persistDataset(rec datasetRecord, csvBody []byte) {
 }
 
 // persistRelease writes a computed release through to disk.
-func (s *Server) persistRelease(e *releaseEntry) {
+func (s *Server) persistRelease(sp *obs.Span, e *releaseEntry) {
 	if s.disk == nil {
 		return
 	}
+	wsp := sp.Child(obs.StagePersistWrite, "persist release "+e.id)
+	defer wsp.End()
 	rec := releaseRecord{
 		ID:          e.id,
 		Dataset:     e.ds.id,
@@ -322,7 +328,7 @@ func (s *Server) persistRelease(e *releaseEntry) {
 // from (schema, n, seed) or re-decoded from the saved CSV bytes, both
 // deterministic — and admitted to the LRU; concurrent recoveries of
 // the same id collapse into one rebuild.
-func (s *Server) getDataset(id string) (*datasetEntry, bool) {
+func (s *Server) getDataset(sp *obs.Span, id string) (*datasetEntry, bool) {
 	if e, ok := s.datasets.get(id); ok {
 		return e, true
 	}
@@ -333,7 +339,9 @@ func (s *Server) getDataset(id string) (*datasetEntry, bool) {
 		if e, ok := s.datasets.get(id); ok {
 			return e, nil
 		}
-		e, err := s.recoverDataset(id)
+		// Singleflight leader: the recovery's stage spans land on this
+		// caller's trace; sharers get the entry without spans.
+		e, err := s.recoverDataset(sp, id)
 		if err != nil {
 			return nil, err
 		}
@@ -346,9 +354,13 @@ func (s *Server) getDataset(id string) (*datasetEntry, bool) {
 	return e, true
 }
 
-// recoverDataset rebuilds a dataset entry from its persisted manifest.
-func (s *Server) recoverDataset(id string) (*datasetEntry, error) {
+// recoverDataset rebuilds a dataset entry from its persisted manifest,
+// recording the disk read and the deterministic rebuild (synthesis or
+// CSV decode, then the engine build) as stage spans.
+func (s *Server) recoverDataset(sp *obs.Span, id string) (*datasetEntry, error) {
+	psp := sp.Child(obs.StagePersistRead, "load dataset "+id)
 	rec, csvBody, err := s.disk.loadDataset(id)
+	psp.End()
 	if err != nil {
 		if !errors.Is(err, errNotPersisted) {
 			s.metrics.PersistErrors.Add(1)
@@ -363,9 +375,13 @@ func (s *Server) recoverDataset(id string) (*datasetEntry, error) {
 	var table *dataset.Table
 	switch rec.Source {
 	case "synthetic":
+		ssp := sp.StartStage(obs.StageDatasetSynth)
 		table, err = schema.Synthesize(spec, rec.N, rec.Seed)
+		ssp.End()
 	case "csv":
+		dsp := sp.StartStage(obs.StageDatasetDecode)
 		table, err = dataset.ReadCSV(bytes.NewReader(csvBody), spec.ColumnSpecs())
+		dsp.End()
 	default:
 		err = fmt.Errorf("service: dataset %s has unknown source %q", id, rec.Source)
 	}
@@ -373,7 +389,7 @@ func (s *Server) recoverDataset(id string) (*datasetEntry, error) {
 		s.metrics.PersistErrors.Add(1)
 		return nil, err
 	}
-	e, err := s.buildDataset(id, schemaID, spec, table)
+	e, err := s.buildDataset(sp, id, schemaID, spec, table)
 	if err != nil {
 		s.metrics.PersistErrors.Add(1)
 		return nil, err
@@ -386,18 +402,19 @@ func (s *Server) recoverDataset(id string) (*datasetEntry, error) {
 // the GET /v1/releases and attack/risk lookup path. Concurrent
 // recoveries collapse; a recovered entry is admitted to the LRU so
 // later lookups are memory hits.
-func (s *Server) resolveRelease(id string) (*releaseEntry, bool) {
+func (s *Server) resolveRelease(ctx context.Context, id string) (*releaseEntry, bool) {
 	if e, ok := s.releases.get(id); ok {
 		return e, true
 	}
 	if s.disk == nil {
 		return nil, false
 	}
+	sp := obs.SpanFromContext(ctx)
 	e, _, err := s.relRecover.Do(id, func() (*releaseEntry, error) {
 		if e, ok := s.releases.get(id); ok {
 			return e, nil
 		}
-		e, ok := s.recoverRelease(id, nil)
+		e, ok := s.recoverRelease(sp, id, nil)
 		if !ok {
 			return nil, errNotPersisted
 		}
@@ -417,11 +434,13 @@ func (s *Server) resolveRelease(id string) (*releaseEntry, bool) {
 // the table. Any integrity failure reports the release as absent so
 // callers degrade to recomputation or 404, never a 500. ds, when
 // non-nil, is the already-resolved owning dataset.
-func (s *Server) recoverRelease(id string, ds *datasetEntry) (*releaseEntry, bool) {
+func (s *Server) recoverRelease(sp *obs.Span, id string, ds *datasetEntry) (*releaseEntry, bool) {
 	if s.disk == nil {
 		return nil, false
 	}
+	psp := sp.Child(obs.StagePersistRead, "load release "+id)
 	rec, err := s.disk.loadRelease(id)
+	psp.End()
 	if err != nil {
 		if !errors.Is(err, errNotPersisted) {
 			s.metrics.PersistErrors.Add(1)
@@ -430,7 +449,7 @@ func (s *Server) recoverRelease(id string, ds *datasetEntry) (*releaseEntry, boo
 	}
 	if ds == nil || ds.id != rec.Dataset {
 		var ok bool
-		ds, ok = s.getDataset(rec.Dataset)
+		ds, ok = s.getDataset(sp, rec.Dataset)
 		if !ok {
 			s.metrics.PersistErrors.Add(1)
 			return nil, false

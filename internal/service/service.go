@@ -2,12 +2,14 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"sort"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/kernel"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/schema"
 )
@@ -53,6 +56,22 @@ type Config struct {
 	// JobQueueDepth bounds the async job queue (default 128).
 	// Submissions beyond the bound are rejected with 503.
 	JobQueueDepth int
+	// DisableTracing turns the observability substrate off: no traces,
+	// no stage ledger, no debug ring. Responses are byte-identical
+	// either way (the determinism tests pin this); tracing is on by
+	// default because its cost is a handful of clock reads per request.
+	DisableTracing bool
+	// TraceRing bounds the recent-trace ring GET /debug/traces serves
+	// (default 128).
+	TraceRing int
+	// SlowTraceMillis is the default min_ms filter of /debug/traces:
+	// only traces at least this slow are listed unless the query
+	// overrides it (default 0 — keep everything).
+	SlowTraceMillis int
+	// Logger, when set, receives one structured line per request
+	// (request id, endpoint, status, duration, cache outcome). Nil
+	// disables request logging.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +95,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.JobQueueDepth == 0 {
 		c.JobQueueDepth = 128
+	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 128
 	}
 	return c
 }
@@ -102,6 +124,12 @@ type releaseEntry struct {
 	// against: the release's own model (skyline breaches like bt).
 	breachModel core.Model
 	seconds     float64
+	// stages is the pipeline's per-stage breakdown, captured when this
+	// process ran the pipeline under tracing (nil for disk-recovered
+	// entries and untraced servers). Served only behind ?stages=1 and
+	// never persisted, so release bodies stay byte-identical across
+	// restarts and tracing settings.
+	stages []obs.StageTiming
 }
 
 // Server is the HTTP serving layer. Construct with New; it implements
@@ -110,6 +138,11 @@ type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	metrics *Metrics
+	// tracer mints per-request traces and owns the stage ledger and
+	// debug ring; nil when Config.DisableTracing, which turns every
+	// span into a no-op.
+	tracer *obs.Tracer
+	logger *slog.Logger
 
 	schemas  *schema.Registry
 	datasets *lruStore[*datasetEntry]
@@ -146,10 +179,14 @@ func New(cfg Config) (*Server, error) {
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		metrics:  newMetrics(),
+		logger:   cfg.Logger,
 		schemas:  schema.NewRegistry(),
 		datasets: newLRUStore[*datasetEntry](cfg.DatasetCap),
 		releases: newLRUStore[*releaseEntry](cfg.ReleaseCap),
 		jobs:     newJobQueue(cfg.JobQueueDepth),
+	}
+	if !cfg.DisableTracing {
+		s.tracer = obs.NewTracer(cfg.TraceRing)
 	}
 	s.schemas.MustRegister(adult.Spec())
 	s.releases.onEvict = func(string) { s.metrics.StoreEvictions.Add(1) }
@@ -240,8 +277,11 @@ func (w *statusWriter) WriteHeader(code int) {
 type methods map[string]http.HandlerFunc
 
 // route registers an instrumented path: request/in-flight/error
-// counters plus a latency observation under "<METHOD> <path>".
-// Unlisted methods get a 405 without touching the counters.
+// counters, a latency observation under "<METHOD> <path>", and — when
+// tracing is on — one trace per request, its root span carried in the
+// request context so every pipeline layer below can attach stage
+// spans. The trace id is echoed as X-Request-Id and joins the request
+// log line. Unlisted methods get a 405 without touching the counters.
 func (s *Server) route(pattern string, hs methods) {
 	display := strings.TrimSuffix(pattern, "/")
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
@@ -250,15 +290,33 @@ func (s *Server) route(pattern string, hs methods) {
 			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "method " + r.Method + " not allowed"})
 			return
 		}
+		endpoint := r.Method + " " + display
 		s.metrics.Requests.Add(1)
 		s.metrics.InFlight.Add(1)
+		tc := s.tracer.Start(endpoint)
+		if id := tc.ID(); id != "" {
+			w.Header().Set("X-Request-Id", id)
+			r = r.WithContext(obs.ContextWithSpan(r.Context(), tc.Root()))
+		}
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
+			d := time.Since(start)
 			s.metrics.InFlight.Add(-1)
-			s.metrics.observe(r.Method+" "+display, time.Since(start))
+			s.metrics.observe(endpoint, d, sw.status)
 			if sw.status >= 400 {
 				s.metrics.Errors.Add(1)
+			}
+			tc.SetStatus(sw.status)
+			tc.Finish()
+			if s.logger != nil {
+				s.logger.Info("request",
+					"id", tc.ID(),
+					"endpoint", endpoint,
+					"status", sw.status,
+					"ms", float64(d)/float64(time.Millisecond),
+					"outcome", tc.Root().Outcome(),
+				)
 			}
 		}()
 		h(sw, r)
@@ -389,11 +447,14 @@ func (s *Server) resolveSchema(w http.ResponseWriter, ref string) (*schema.Spec,
 }
 
 // buildDataset constructs a dataset entry: the engine build is the
-// per-dataset setup cost the whole service exists to amortize.
-func (s *Server) buildDataset(id string, schemaID string, spec *schema.Spec, table *dataset.Table) (*datasetEntry, error) {
+// per-dataset setup cost the whole service exists to amortize, so it
+// gets its own stage span.
+func (s *Server) buildDataset(sp *obs.Span, id string, schemaID string, spec *schema.Spec, table *dataset.Table) (*datasetEntry, error) {
 	s.metrics.DatasetBuilds.Add(1)
+	esp := sp.StartStage(obs.StageEngineBuild)
 	eng, err := core.New(table, spec.Hierarchies(), nil, nil,
 		core.WithWorkers(parallel.Resolve(s.cfg.Workers)))
+	esp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -438,22 +499,29 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	}
 	id := hashID("ds", "synthetic|schema="+schemaID+
 		"|n="+strconv.Itoa(req.N)+"|seed="+strconv.FormatInt(req.Seed, 10))
+	sp := obs.SpanFromContext(r.Context())
 	entry, src, err := s.datasets.do(id, func() (*datasetEntry, error) {
+		// The singleflight leader runs this closure in its own request
+		// goroutine, so the synthesis and build land on that request's
+		// trace; followers share the result without inheriting spans.
+		ssp := sp.StartStage(obs.StageDatasetSynth)
 		table, err := schema.Synthesize(spec, req.N, req.Seed)
+		ssp.End()
 		if err != nil {
 			// Wrap so every caller sharing this singleflight result —
 			// not just the leader — classifies it as client input.
 			return nil, synthesisError{err}
 		}
-		e, err := s.buildDataset(id, schemaID, spec, table)
+		e, err := s.buildDataset(sp, id, schemaID, spec, table)
 		if err == nil {
-			s.persistDataset(datasetRecord{
+			s.persistDataset(sp, datasetRecord{
 				ID: id, Schema: schemaID, Source: "synthetic",
 				N: req.N, Seed: req.Seed,
 			}, nil)
 		}
 		return e, err
 	})
+	sp.SetOutcome(src.String())
 	if err != nil {
 		// A synthesis failure is the spec's own model rejecting the
 		// draw (e.g. constraints zeroing a sensitive domain) — the
@@ -495,7 +563,12 @@ func (s *Server) ingestCSV(w http.ResponseWriter, r *http.Request) {
 	if s.disk != nil {
 		stream = io.TeeReader(stream, &raw)
 	}
+	// Every upload decodes its own body (the content hash needs the
+	// bytes), so the decode span is per-request, not singleflighted.
+	sp := obs.SpanFromContext(r.Context())
+	dsp := sp.StartStage(obs.StageDatasetDecode)
 	table, err := dataset.ReadCSV(stream, spec.ColumnSpecs())
+	dsp.End()
 	if err != nil {
 		writeBodyErr(w, "decoding CSV", err)
 		return
@@ -513,12 +586,13 @@ func (s *Server) ingestCSV(w http.ResponseWriter, r *http.Request) {
 	}
 	id := hashID("ds", "csv|schema="+schemaID+"|sha256="+hex.EncodeToString(h.Sum(nil)))
 	entry, src, err := s.datasets.do(id, func() (*datasetEntry, error) {
-		e, err := s.buildDataset(id, schemaID, spec, table)
+		e, err := s.buildDataset(sp, id, schemaID, spec, table)
 		if err == nil {
-			s.persistDataset(datasetRecord{ID: id, Schema: schemaID, Source: "csv"}, raw.Bytes())
+			s.persistDataset(sp, datasetRecord{ID: id, Schema: schemaID, Source: "csv"}, raw.Bytes())
 		}
 		return e, err
 	})
+	sp.SetOutcome(src.String())
 	if err != nil {
 		// Engine-build failures here are caused by the uploaded
 		// content, so the client gets a 400.
@@ -547,7 +621,7 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ds, ok := s.getDataset(req.Dataset)
+	ds, ok := s.getDataset(obs.SpanFromContext(r.Context()), req.Dataset)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
 		return
@@ -565,6 +639,7 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 			// Already computed: born-done job — no queue slot spent,
 			// no 503 from a full queue, no waiting behind real work.
 			s.metrics.countStore(sourceHit)
+			obs.SpanFromContext(r.Context()).SetOutcome(sourceHit.String())
 			if j, err = s.jobs.complete(ds, req, id); err == nil {
 				s.metrics.JobsDone.Add(1)
 			}
@@ -585,11 +660,12 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, resp)
 		return
 	}
-	entry, src, err := s.resolveOrCompute(ds, req)
+	entry, src, err := s.resolveOrCompute(r.Context(), ds, req)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "anonymizing: %v", err)
 		return
 	}
+	obs.SpanFromContext(r.Context()).SetOutcome(src.String())
 	writeJSON(w, http.StatusOK, AnonymizeResponse{
 		Release:     entry.id,
 		Dataset:     ds.id,
@@ -608,22 +684,28 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 // then one singleflighted pipeline run whose result writes through to
 // disk. The source return distinguishes resident (sourceHit), shared
 // in-flight (sourceShared), disk-recovered (sourceDisk), and freshly
-// computed (sourceMiss).
-func (s *Server) resolveOrCompute(ds *datasetEntry, req AnonymizeRequest) (*releaseEntry, source, error) {
+// computed (sourceMiss). The context's span — request or job root —
+// receives the stage spans of whatever work this caller actually did:
+// the singleflight leader records the recovery or pipeline, followers
+// record an empty resolve span, so shared work is attributed once.
+func (s *Server) resolveOrCompute(ctx context.Context, ds *datasetEntry, req AnonymizeRequest) (*releaseEntry, source, error) {
+	sp := obs.SpanFromContext(ctx)
 	id := hashID("rel", req.key())
 	fromDisk := false
+	rsp := sp.Child(obs.StageNone, "resolve "+id)
 	entry, src, err := s.releases.do(id, func() (*releaseEntry, error) {
-		if e, ok := s.recoverRelease(id, ds); ok {
+		if e, ok := s.recoverRelease(rsp, id, ds); ok {
 			fromDisk = true
 			return e, nil
 		}
-		e, err := s.runPipeline(id, ds, req)
+		e, err := s.runPipeline(rsp, id, ds, req)
 		if err != nil {
 			return nil, err
 		}
-		s.persistRelease(e)
+		s.persistRelease(rsp, e)
 		return e, nil
 	})
+	rsp.End()
 	if fromDisk && src == sourceMiss {
 		src = sourceDisk
 	}
@@ -631,12 +713,19 @@ func (s *Server) resolveOrCompute(ds *datasetEntry, req AnonymizeRequest) (*rele
 	return entry, src, err
 }
 
-// runPipeline executes one anonymization on the dataset's engine.
-func (s *Server) runPipeline(id string, ds *datasetEntry, req AnonymizeRequest) (*releaseEntry, error) {
+// runPipeline executes one anonymization on the dataset's engine. The
+// pipeline span groups the run's stage spans (prior passes, kernel
+// tables, partitioning) and its finished subtree becomes the release's
+// ?stages=1 breakdown.
+func (s *Server) runPipeline(sp *obs.Span, id string, ds *datasetEntry, req AnonymizeRequest) (*releaseEntry, error) {
 	s.metrics.PipelineRuns.Add(1)
 	params := core.Params{K: req.K, L: req.L, T: req.T, B: req.B}
+	psp := sp.Child(obs.StageNone, "pipeline "+req.Algo)
 	start := time.Now()
-	res, _, err := ds.engine.RunAlgorithm(req.Algo, req.Model, params)
+	res, _, err := ds.engine.RunAlgorithmContext(
+		obs.ContextWithSpan(context.Background(), psp), req.Algo, req.Model, params)
+	seconds := time.Since(start).Seconds()
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -646,7 +735,8 @@ func (s *Server) runPipeline(id string, ds *datasetEntry, req AnonymizeRequest) 
 		res:         res,
 		req:         req,
 		breachModel: breachModelFor(req.Model),
-		seconds:     time.Since(start).Seconds(),
+		seconds:     seconds,
+		stages:      obs.Breakdown(psp),
 	}, nil
 }
 
@@ -702,17 +792,23 @@ func breachFor(entry *releaseEntry) core.Breach {
 // Adv(b') against the stored release, breached under the release's own
 // criterion. Classes fan out on the dataset's shared pool; the
 // response is bit-identical at any worker count.
-func (s *Server) computeAttack(entry *releaseEntry, bprime float64) (*AttackResponse, error) {
+func (s *Server) computeAttack(ctx context.Context, entry *releaseEntry, bprime float64) (*AttackResponse, error) {
 	key := entry.id + "|b'=" + strconv.FormatFloat(bprime, 'g', -1, 64)
-	resp, _, err := s.attacks.Do(key, func() (*AttackResponse, error) {
+	resp, shared, err := s.attacks.Do(key, func() (*AttackResponse, error) {
+		// The singleflight leader runs here on its own goroutine's
+		// context, so the prior and inference spans land on exactly one
+		// trace; followers just share the response.
 		eng := entry.ds.engine
 		bvec := kernel.UniformBandwidth(entry.ds.table.Schema.D(), bprime)
-		rep, err := eng.Attack(entry.res, bvec, entry.req.T, breachFor(entry))
+		rep, err := eng.AttackContext(ctx, entry.res, bvec, entry.req.T, breachFor(entry))
 		if err != nil {
 			return nil, err
 		}
 		return attackResponse(entry, bprime, rep), nil
 	})
+	if shared {
+		obs.SpanFromContext(ctx).SetOutcome(sourceShared.String())
+	}
 	return resp, err
 }
 
@@ -723,7 +819,7 @@ func (s *Server) computeAttack(entry *releaseEntry, bprime float64) (*AttackResp
 // bit-identical to single-bprime attacks (the engine's AttackSweep
 // guarantee, pinned by the HTTP tests). The return maps each distinct
 // bandwidth to its response; callers assemble request order from it.
-func (s *Server) computeSweep(entry *releaseEntry, bprimes []float64) (map[float64]*AttackResponse, error) {
+func (s *Server) computeSweep(ctx context.Context, entry *releaseEntry, bprimes []float64) (map[float64]*AttackResponse, error) {
 	norm := normalizeGrid(bprimes)
 	parts := make([]string, len(norm))
 	for i, bp := range norm {
@@ -737,7 +833,7 @@ func (s *Server) computeSweep(entry *releaseEntry, bprimes []float64) (map[float
 		for i, bp := range norm {
 			bvecs[i] = kernel.UniformBandwidth(d, bp)
 		}
-		reps, err := eng.AttackSweep(entry.res, bvecs, entry.req.T, breachFor(entry))
+		reps, err := eng.AttackSweepContext(ctx, entry.res, bvecs, entry.req.T, breachFor(entry))
 		if err != nil {
 			return nil, err
 		}
@@ -804,7 +900,7 @@ func (s *Server) getRelease(w http.ResponseWriter, r *http.Request) (entry *rele
 			return nil, nil, false, false
 		}
 	}
-	entry, found := s.resolveRelease(req.Release)
+	entry, found := s.resolveRelease(r.Context(), req.Release)
 	if !found {
 		writeErr(w, http.StatusNotFound, "unknown release %q", req.Release)
 		return nil, nil, false, false
@@ -815,10 +911,10 @@ func (s *Server) getRelease(w http.ResponseWriter, r *http.Request) (entry *rele
 // sweepResponses runs the amortized sweep and assembles per-bandwidth
 // responses in request order, counting the sweep's amortization into
 // the metrics ledger.
-func (s *Server) sweepResponses(entry *releaseEntry, bprimes []float64) ([]AttackResponse, error) {
+func (s *Server) sweepResponses(ctx context.Context, entry *releaseEntry, bprimes []float64) ([]AttackResponse, error) {
 	s.metrics.SweepRequests.Add(1)
 	s.metrics.SweepPoints.Add(int64(len(bprimes)))
-	results, err := s.computeSweep(entry, bprimes)
+	results, err := s.computeSweep(ctx, entry, bprimes)
 	if err != nil {
 		return nil, err
 	}
@@ -835,7 +931,7 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if sweep {
-		results, err := s.sweepResponses(entry, bprimes)
+		results, err := s.sweepResponses(r.Context(), entry, bprimes)
 		if err != nil {
 			writeErr(w, http.StatusInternalServerError, "attacking: %v", err)
 			return
@@ -843,7 +939,7 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, AttackSweepResponse{Release: entry.id, Sweep: results})
 		return
 	}
-	resp, err := s.computeAttack(entry, bprimes[0])
+	resp, err := s.computeAttack(r.Context(), entry, bprimes[0])
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "attacking: %v", err)
 		return
@@ -857,7 +953,7 @@ func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if sweep {
-		results, err := s.sweepResponses(entry, bprimes)
+		results, err := s.sweepResponses(r.Context(), entry, bprimes)
 		if err != nil {
 			writeErr(w, http.StatusInternalServerError, "evaluating risk: %v", err)
 			return
@@ -869,7 +965,7 @@ func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	resp, err := s.computeAttack(entry, bprimes[0])
+	resp, err := s.computeAttack(r.Context(), entry, bprimes[0])
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "evaluating risk: %v", err)
 		return
@@ -883,12 +979,12 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "want /v1/releases/{id}")
 		return
 	}
-	entry, ok := s.resolveRelease(id)
+	entry, ok := s.resolveRelease(r.Context(), id)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown release %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, ReleaseInfo{
+	info := ReleaseInfo{
 		ID:          entry.id,
 		Dataset:     entry.ds.id,
 		Schema:      entry.ds.schemaID,
@@ -903,7 +999,14 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		Records:     entry.ds.table.N(),
 		AvgGroup:    float64(entry.ds.table.N()) / float64(len(entry.res.Groups)),
 		Seconds:     entry.seconds,
-	})
+	}
+	// The stage breakdown is opt-in and best-effort (only the process
+	// that ran the pipeline under tracing has it), so the default body
+	// stays byte-identical across restarts and tracing settings.
+	if r.URL.Query().Get("stages") == "1" {
+		info.Stages = entry.stages
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // handleJob reports an async anonymize job's lifecycle state; once
@@ -930,5 +1033,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(s.releases.len(), s.datasets.len(), s.jobs.pending()))
+	writeJSON(w, http.StatusOK, s.metrics.snapshot(
+		s.releases.len(), s.datasets.len(), s.jobs.pending(),
+		s.tracer.Stages().Snapshot()))
 }

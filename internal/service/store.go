@@ -25,6 +25,20 @@ const (
 	sourceDisk
 )
 
+// String names a source for span outcomes and request logs.
+func (s source) String() string {
+	switch s {
+	case sourceHit:
+		return "hit"
+	case sourceShared:
+		return "shared"
+	case sourceDisk:
+		return "disk"
+	default:
+		return "miss"
+	}
+}
+
 // lruStore is a content-addressed cache with LRU eviction and
 // singleflight admission: values live under canonical keys, lookups
 // refresh recency, inserts beyond capacity evict the least recently

@@ -92,6 +92,21 @@ grep -q '"pipeline_runs":0' "$WORK/metrics.json" || {
     exit 1
 }
 
+# The stage ledger starts fresh per process: after the reboot it must
+# show disk recovery (persist_read) and no pipeline compute stages —
+# a mondrian entry here would mean the old process's ledger leaked
+# across restart or the warm path silently recomputed.
+grep -q '"persist_read":{"count":' "$WORK/metrics.json" || {
+    say "FAIL: post-restart ledger lacks persist_read (recovery untracked)"
+    cat "$WORK/metrics.json"
+    exit 1
+}
+if grep -q '"mondrian":{"count":' "$WORK/metrics.json"; then
+    say "FAIL: post-restart ledger reports mondrian compute"
+    cat "$WORK/metrics.json"
+    exit 1
+fi
+
 # And the async path works end to end on the recovered server.
 curl -sf -X POST "$BASE/v1/anonymize" -H 'Content-Type: application/json' \
     -d '{"dataset":"'"$DS"'","model":"prob","async":true}' >"$WORK/job.json"
