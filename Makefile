@@ -6,15 +6,17 @@
 # the bench targets cannot rot, a short fuzz smoke over the
 # untrusted-input decoders (CSV rows, JSON schema specs), and the
 # serve-restart smoke (boot, ingest, kill, reboot, verify
-# byte-identical disk recovery with zero pipeline runs), and the
+# byte-identical disk recovery with zero pipeline runs), the
 # observability smoke (boot with a diagnostics listener, drive load,
-# verify the stages ledger, /debug/traces, and pprof answer).
+# verify the stages ledger, /debug/traces, and pprof answer), and the
+# cost smoke (calibrate the per-stage cost model under load, verify
+# the OpenMetrics exposition and the fit error bound).
 
 GO ?= go
 
-.PHONY: ci fmt vet lint build test race bench bench-json fuzz cover serve loadgen restart-smoke obs-smoke
+.PHONY: ci fmt vet lint build test race bench bench-json fuzz cover serve loadgen restart-smoke obs-smoke cost-smoke
 
-ci: fmt vet lint build race bench fuzz restart-smoke obs-smoke
+ci: fmt vet lint build race bench fuzz restart-smoke obs-smoke cost-smoke
 
 # gofmt -l as a check: fails listing any file that needs formatting.
 fmt:
@@ -84,3 +86,10 @@ restart-smoke:
 # (see scripts/obs_smoke.sh).
 obs-smoke:
 	GO="$(GO)" sh scripts/obs_smoke.sh
+
+# Black-box cost-model check: boot, calibrate with two loadgen runs at
+# different dataset sizes, then assert the OpenMetrics exposition
+# parses and the priors/mondrian fits hit their sample and error
+# bounds (see scripts/cost_smoke.sh and scripts/costcheck).
+cost-smoke:
+	GO="$(GO)" sh scripts/cost_smoke.sh

@@ -81,6 +81,7 @@ var suite = []scoped{
 		"repro/internal/anatomy",
 		"repro/internal/anonymize",
 		"repro/internal/core",
+		"repro/internal/costmodel",
 		"repro/internal/dataset",
 		"repro/internal/inference",
 		"repro/internal/kernel",
@@ -92,6 +93,7 @@ var suite = []scoped{
 		"repro/internal/anatomy",
 		"repro/internal/anonymize",
 		"repro/internal/core",
+		"repro/internal/costmodel",
 		"repro/internal/dataset",
 		"repro/internal/distance",
 		"repro/internal/hierarchy",

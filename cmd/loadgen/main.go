@@ -37,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -48,6 +49,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/service"
@@ -181,7 +183,7 @@ func main() {
 	// Snapshot the server's stage ledger before any of our traffic, so
 	// the post-run report can print the deltas this run caused — which
 	// pipeline stages ran, how often, and where the time went.
-	stagesBefore := fetchStages(c)
+	stagesBefore := fetchSnapshot(c).Stages
 
 	datasets := []service.DatasetResponse{ingest("")}
 
@@ -272,7 +274,8 @@ func main() {
 
 	report(samplesPerWorker, elapsed)
 	printServerMetrics(c)
-	printStageDeltas(stagesBefore, fetchStages(c))
+	after := fetchSnapshot(c)
+	printStageDeltas(stagesBefore, after.Stages, after.CostModel)
 }
 
 // parseMix decodes "name:weight,..." into scenarios.
@@ -407,22 +410,71 @@ func printServerMetrics(c *client) {
 	tw.Flush()
 }
 
-// fetchStages grabs the server's per-stage ledger from /metrics. A
-// fetch failure (or a server without tracing) degrades to an empty
-// ledger rather than aborting the run.
-func fetchStages(c *client) map[string]obs.StageStats {
+// fetchSnapshot grabs the server's /metrics snapshot (stage ledger and
+// cost model included). A fetch failure (or a server without tracing)
+// degrades to an empty snapshot rather than aborting the run.
+func fetchSnapshot(c *client) service.Snapshot {
 	var snap service.Snapshot
 	if err := c.getJSON("/metrics", &snap); err != nil {
-		fmt.Fprintf(os.Stderr, "loadgen: fetching stage ledger: %v\n", err)
-		return nil
+		fmt.Fprintf(os.Stderr, "loadgen: fetching /metrics snapshot: %v\n", err)
+		return service.Snapshot{}
 	}
-	return snap.Stages
+	return snap
+}
+
+// bucketDelta subtracts the before-run histogram from the after-run
+// one, returning only bins this run populated (ascending le order,
+// which StageStats already guarantees).
+func bucketDelta(before, after []obs.HistBucket) []obs.HistBucket {
+	prev := map[int64]int64{}
+	for _, b := range before {
+		prev[b.LeMicros] = b.Count
+	}
+	var out []obs.HistBucket
+	for _, b := range after {
+		if c := b.Count - prev[b.LeMicros]; c > 0 {
+			out = append(out, obs.HistBucket{LeMicros: b.LeMicros, Count: c})
+		}
+	}
+	return out
+}
+
+// bucketQuantile estimates the q-quantile of a log₂-bucketed delta
+// histogram in milliseconds. The estimator is ceil nearest-rank over
+// buckets, reporting the containing bucket's geometric midpoint
+// (le/√2): the multiplicative center of a [le/2, le) bin, so the
+// estimate's relative error is bounded by the bucket ratio (√2) rather
+// than depending on where samples sit in the bin.
+func bucketQuantile(buckets []obs.HistBucket, q float64) float64 {
+	var total int64
+	for _, b := range buckets {
+		total += b.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range buckets {
+		cum += b.Count
+		if cum >= rank {
+			return float64(b.LeMicros) / math.Sqrt2 / 1000
+		}
+	}
+	return float64(buckets[len(buckets)-1].LeMicros) / math.Sqrt2 / 1000
 }
 
 // printStageDeltas reports what this run added to the server's stage
-// ledger: per-stage pass counts, total seconds, and mean duration —
-// the attribution of the run's wall time to pipeline stages.
-func printStageDeltas(before, after map[string]obs.StageStats) {
+// ledger: per-stage pass counts, total seconds, mean duration, and
+// bucket-estimated p50/p99 — the attribution of the run's wall time to
+// pipeline stages. When the server exposes a fitted cost model, the
+// fiterr% column carries each stage's in-sample median absolute
+// relative error: how far the calibrated predictor is from the
+// durations actually observed.
+func printStageDeltas(before, after map[string]obs.StageStats, cost map[string]costmodel.Fit) {
 	names := make([]string, 0, len(after))
 	for name := range after {
 		names = append(names, name)
@@ -435,17 +487,23 @@ func printStageDeltas(before, after map[string]obs.StageStats) {
 		if b, ok := before[name]; ok {
 			d.Count -= b.Count
 			d.TotalSeconds -= b.TotalSeconds
+			d.Buckets = bucketDelta(b.Buckets, d.Buckets)
 		}
 		if d.Count <= 0 {
 			continue
 		}
 		if !printed {
 			fmt.Println("\nstage deltas (this run):")
-			fmt.Fprintln(tw, "stage\tcount\ttotal(s)\tmean(ms)")
+			fmt.Fprintln(tw, "stage\tcount\ttotal(s)\tmean(ms)\tp50(ms)\tp99(ms)\tfiterr%")
 			printed = true
 		}
-		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\n",
-			name, d.Count, d.TotalSeconds, d.TotalSeconds/float64(d.Count)*1000)
+		fitErr := "-"
+		if fit, ok := cost[name]; ok && fit.Samples > 0 {
+			fitErr = fmt.Sprintf("%.1f", fit.MedAbsRelErr*100)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%.3f\t%.3f\t%.3f\t%s\n",
+			name, d.Count, d.TotalSeconds, d.TotalSeconds/float64(d.Count)*1000,
+			bucketQuantile(d.Buckets, 0.50), bucketQuantile(d.Buckets, 0.99), fitErr)
 	}
 	if printed {
 		tw.Flush()

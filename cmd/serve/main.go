@@ -16,13 +16,19 @@
 //
 // -debug-addr starts a second listener with the diagnostics surface:
 // GET /debug/traces (recent request/job traces with per-stage spans,
-// ?min_ms= filter) and the standard net/http/pprof endpoints under
-// /debug/pprof/. Keeping it on its own address means profiling and
-// trace inspection never share a port with production traffic.
+// ?min_ms= and ?endpoint= filters), GET /debug/traces/{id} (one
+// retained trace by request id) and the standard net/http/pprof
+// endpoints under /debug/pprof/. Keeping it on its own address means
+// profiling and trace inspection never share a port with production
+// traffic.
 //
 // Endpoints: POST/GET /v1/schemas; POST /v1/datasets, /v1/anonymize
-// (sync, or "async": true → 202 + job), /v1/attack, /v1/risk; GET
-// /v1/releases/{id}, /v1/jobs/{id}, /healthz, /metrics. The schema
+// (sync, or "async": true → 202 + job), /v1/attack, /v1/risk — all
+// three accept ?explain=1 (or "explain": true) for an opt-in
+// predicted-vs-actual cost block; GET /v1/releases/{id}, /v1/jobs/{id},
+// /v1/estimate (price a request against the calibrated cost model
+// without running it), /healthz, /metrics (JSON; ?format=prom serves
+// the OpenMetrics exposition). The schema
 // registry boots with the built-in Adult spec plus everything
 // persisted under -data-dir; -schema preloads additional declarative
 // specs (see examples/schemas/). See DESIGN.md ("Schema registry",

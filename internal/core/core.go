@@ -421,6 +421,7 @@ func (e *Engine) runAlgorithm(sp *obs.Span, algo, model string, p Params) (res *
 	switch algo {
 	case "anatomy":
 		asp := sp.StartStage(obs.StageAnatomy)
+		asp.SetShape(obs.Shape{Rows: e.Table.N(), Dims: e.Table.Schema.D()})
 		res, err = anatomy.Anatomize(e.Table, p.L)
 		asp.End()
 		if err != nil {
@@ -437,6 +438,7 @@ func (e *Engine) runAlgorithm(sp *obs.Span, algo, model string, p Params) (res *
 		}
 		g := &incognito.Generalizer{Table: e.Table, Ladders: ladders, Req: req}
 		isp := sp.StartStage(obs.StageIncognito)
+		isp.SetShape(obs.Shape{Rows: e.Table.N(), Dims: e.Table.Schema.D()})
 		levels, res, err = g.Search()
 		isp.End()
 		if err != nil {
@@ -543,6 +545,12 @@ func (e *Engine) attackSpan(sp *obs.Span, res *anonymize.Result, bvec []float64,
 		return nil, err
 	}
 	isp := sp.Child(obs.StageInference, "inference "+e.Method.Name())
+	isp.SetShape(obs.Shape{
+		Rows:   e.Table.N(),
+		Dims:   e.Table.Schema.D(),
+		Lanes:  1,
+		Groups: len(res.Groups),
+	})
 	perGroup := parallel.Map(e.Workers(), len(res.Groups), func(gi int) groupAttack {
 		g := res.Groups[gi]
 		return e.attackGroup(g, priors, e.groupCounts(g), breach, t)
@@ -644,6 +652,12 @@ func (e *Engine) attackSweepSpan(sp *obs.Span, res *anonymize.Result, bvecs [][]
 		counts[gi] = e.groupCounts(g)
 	}
 	isp := sp.Child(obs.StageInference, "inference sweep "+e.Method.Name())
+	isp.SetShape(obs.Shape{
+		Rows:   e.Table.N(),
+		Dims:   e.Table.Schema.D(),
+		Lanes:  nb,
+		Groups: ng,
+	})
 	perGroup := parallel.Map(e.Workers(), nb*ng, func(i int) groupAttack {
 		return e.attackGroup(res.Groups[i%ng], priorsByB[i/ng], counts[i%ng], breach, t)
 	})

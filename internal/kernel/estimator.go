@@ -184,6 +184,7 @@ func (e *Estimator) profilePriors(sp *obs.Span, b []float64) ([]prob.Dist, error
 	ft := e.weightTables(sp, b)
 	n, m := e.packed.N, e.packed.M
 	psp := sp.Child(obs.StagePriors, "priors b="+BandwidthKey(b))
+	psp.SetShape(obs.Shape{Profiles: n, Dims: e.packed.D, Lanes: 1})
 	backing := make([]float64, n*m)
 	e.priorPass(ft, backing)
 	psp.End()
@@ -216,6 +217,7 @@ func (e *Estimator) profilePriorsBatch(sp *obs.Span, bvecs [][]float64) ([][]pro
 	}
 	n, m := e.packed.N, e.packed.M
 	psp := sp.Child(obs.StagePriors, "priors batch n="+strconv.Itoa(len(bvecs)))
+	psp.SetShape(obs.Shape{Profiles: n, Dims: e.packed.D, Lanes: len(bvecs)})
 	outs := make([][]float64, len(bvecs))
 	for k := range outs {
 		outs[k] = make([]float64, n*m)
@@ -286,6 +288,7 @@ func BandwidthKey(b []float64) string {
 func (e *Estimator) weightTables(sp *obs.Span, b []float64) *flatTables {
 	ft, _ := e.wmemo.Do(BandwidthKey(b), func() (*flatTables, error) {
 		tsp := sp.Child(obs.StageKernelTable, "kernel-table b="+BandwidthKey(b))
+		tsp.SetShape(obs.Shape{Profiles: e.packed.N, Dims: e.packed.D})
 		ft := e.buildFlat(b)
 		tsp.End()
 		return ft, nil

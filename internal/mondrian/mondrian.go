@@ -50,6 +50,7 @@ type Partitioner struct {
 // Anonymize runs Mondrian and returns the anonymized result.
 func (p *Partitioner) Anonymize() *anonymize.Result {
 	sp := p.Span.StartStage(obs.StageMondrian)
+	sp.SetShape(obs.Shape{Rows: p.Table.N(), Dims: p.Table.Schema.D()})
 	defer sp.End()
 	rows := make([]int, p.Table.N())
 	for i := range rows {

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBucketIndexBoundaries pins the log₂-µs bucketing contract: bucket
+// 0 is the sub-microsecond bin, bucket k holds [2^(k-1), 2^k) µs, and
+// durations beyond the top boundary clamp into the last bucket instead
+// of indexing out of range.
+func TestBucketIndexBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{999 * time.Nanosecond, 0},
+		{time.Microsecond, 1},       // lower edge of [1,2)
+		{1999 * time.Nanosecond, 1}, // still <2µs after truncation
+		{2 * time.Microsecond, 2},   // exact power of two starts a new bin
+		{3 * time.Microsecond, 2},
+		{4 * time.Microsecond, 3},
+		{(1<<10 - 1) * time.Microsecond, 10},
+		{(1 << 10) * time.Microsecond, 11},
+		{(1 << 24) * time.Microsecond, histBuckets - 1}, // highest in-range bin
+		{(1 << 25) * time.Microsecond, histBuckets - 1}, // first overflow clamps
+		{time.Hour, histBuckets - 1},
+		{24 * time.Hour, histBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestHistObserveOverflowCounts checks the top bin absorbs overflow:
+// the count and sum still reflect the true observation even though the
+// bucket boundary undercounts it.
+func TestHistObserveOverflowCounts(t *testing.T) {
+	var h Hist
+	h.Observe(time.Hour)
+	h.Observe(500 * time.Nanosecond)
+	if got := h.count.Load(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	if got := h.bucket[histBuckets-1].Load(); got != 1 {
+		t.Fatalf("top bucket = %d, want 1", got)
+	}
+	if got := h.bucket[0].Load(); got != 1 {
+		t.Fatalf("sub-µs bucket = %d, want 1", got)
+	}
+	if got := h.sumNS.Load(); got != int64(time.Hour)+500 {
+		t.Fatalf("sumNS = %d, want %d", got, int64(time.Hour)+500)
+	}
+}

@@ -93,6 +93,25 @@ func (st Stage) String() string {
 	return stageNames[st]
 }
 
+// Shape describes the workload a stage span operated on, in the units
+// the closed-form cost models are written in (internal/costmodel):
+// table rows, deduplicated QI profiles, QI dimensionality d, the
+// bandwidth-grid width of a fused pass (lanes; 1 for a single-bandwidth
+// pass), and the equivalence-class count of an inference pass. A zero
+// Shape means "unannotated" and is kept out of the calibration
+// reservoirs. Shapes describe work, never content — they carry counts,
+// not data — so they are safe to expose on every diagnostic surface.
+type Shape struct {
+	Rows     int `json:"rows,omitempty"`
+	Profiles int `json:"profiles,omitempty"`
+	Dims     int `json:"dims,omitempty"`
+	Lanes    int `json:"lanes,omitempty"`
+	Groups   int `json:"groups,omitempty"`
+}
+
+// IsZero reports whether the shape carries no annotation.
+func (sh Shape) IsZero() bool { return sh == Shape{} }
+
 // Span is one timed node of a trace. The zero of usefulness is nil: a
 // nil *Span accepts every method as a no-op and hands out nil
 // children, so instrumented code never branches on "is tracing on".
@@ -105,6 +124,9 @@ type Span struct {
 	// dur is set once by End; reads happen only after the owning
 	// trace finishes (ring admission), so no atomics are needed.
 	dur time.Duration
+	// shape is set (at most once, by the owning goroutine) before End
+	// and read only at/after End — same ownership discipline as dur.
+	shape Shape
 	// stages, when non-nil, receives this span's duration under its
 	// stage at End.
 	stages *Stages
@@ -139,15 +161,37 @@ func (s *Span) StartStage(stage Stage) *Span {
 	return s.Child(stage, stage.String())
 }
 
+// SetShape annotates the span with the workload shape its stage
+// operated on; the shape rides the ledger observation End records, so
+// the per-stage reservoirs hold (shape, duration) pairs the cost model
+// can fit. Call before End, from the goroutine that owns the span.
+// No-op on nil.
+func (s *Span) SetShape(sh Shape) {
+	if s == nil {
+		return
+	}
+	s.shape = sh
+}
+
+// Shape returns the annotation set by SetShape (zero when unset or on
+// a nil span). Like Duration, it is meaningful only after End.
+func (s *Span) Shape() Shape {
+	if s == nil {
+		return Shape{}
+	}
+	return s.shape
+}
+
 // End closes the span, recording its duration (and, for stage-bearing
-// spans, one ledger observation). No-op on nil.
+// spans, one ledger observation — shaped when the span was annotated).
+// No-op on nil.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	s.dur = now().Sub(s.start)
 	if s.stage != StageNone && s.stages != nil {
-		s.stages.Observe(s.stage, s.dur)
+		s.stages.ObserveShaped(s.stage, s.shape, s.dur)
 	}
 }
 

@@ -43,7 +43,7 @@ func TestNilSafety(t *testing.T) {
 	}
 	var r *Ring
 	r.Add(nil)
-	if r.Snapshot(0) != nil {
+	if r.Snapshot(0, "") != nil {
 		t.Fatalf("nil ring snapshot non-nil")
 	}
 }
@@ -189,7 +189,7 @@ func TestSpanChildrenConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 	tc.Finish()
-	views := tr.Ring().Snapshot(0)
+	views := tr.Ring().Snapshot(0, "")
 	if len(views) != 1 || len(views[0].Spans) != workers {
 		t.Fatalf("trace view = %+v, want %d child spans", views, workers)
 	}
@@ -201,13 +201,115 @@ func TestRingBoundAndOrder(t *testing.T) {
 		tc := tr.Start("GET /x")
 		tc.Finish()
 	}
-	views := tr.Ring().Snapshot(0)
+	views := tr.Ring().Snapshot(0, "")
 	if len(views) != 3 {
 		t.Fatalf("ring kept %d traces, want 3", len(views))
 	}
 	// Newest first; the two oldest were evicted.
 	if views[0].ID != "req_5" || views[2].ID != "req_3" {
 		t.Fatalf("ring order = [%s %s %s]", views[0].ID, views[1].ID, views[2].ID)
+	}
+}
+
+// TestShapeFlowsToReservoirAndView: a SetShape before End lands the
+// (shape, duration) pair in the stage reservoir and the shape on the
+// rendered span view; unannotated spans do neither.
+func TestShapeFlowsToReservoirAndView(t *testing.T) {
+	tr := NewTracer(4)
+	tc := tr.Start("POST /v1/attack")
+	sh := Shape{Rows: 1000, Profiles: 250, Dims: 4, Lanes: 2}
+	sp := tc.Root().StartStage(StagePriors)
+	sp.SetShape(sh)
+	sp.End()
+	tc.Root().StartStage(StageInference).End() // unannotated
+	tc.Finish()
+
+	got := tr.Stages().Samples(StagePriors)
+	if len(got) != 1 || got[0].Shape != sh {
+		t.Fatalf("priors reservoir = %+v, want one sample with %+v", got, sh)
+	}
+	if got[0].Micros < 0 {
+		t.Fatalf("negative duration in reservoir: %+v", got[0])
+	}
+	if s := tr.Stages().Samples(StageInference); len(s) != 0 {
+		t.Fatalf("unannotated pass entered the reservoir: %+v", s)
+	}
+	// Both passes still count in the histogram ledger.
+	snap := tr.Stages().Snapshot()
+	if snap["priors"].Count != 1 || snap["inference"].Count != 1 {
+		t.Fatalf("ledger = %v", snap)
+	}
+	views := tr.Ring().Snapshot(0, "")
+	if len(views) != 1 || len(views[0].Spans) != 2 {
+		t.Fatalf("trace view = %+v", views)
+	}
+	if views[0].Spans[0].Shape == nil || *views[0].Spans[0].Shape != sh {
+		t.Fatalf("priors span view shape = %+v, want %+v", views[0].Spans[0].Shape, sh)
+	}
+	if views[0].Spans[1].Shape != nil {
+		t.Fatalf("unannotated span view carries a shape: %+v", views[0].Spans[1])
+	}
+	// Nil-safety of the new surface.
+	var nilSpan *Span
+	nilSpan.SetShape(sh)
+	if !nilSpan.Shape().IsZero() {
+		t.Fatal("nil span retained a shape")
+	}
+	var g *Stages
+	g.ObserveShaped(StagePriors, sh, time.Millisecond)
+	if g.Samples(StagePriors) != nil {
+		t.Fatal("nil stages returned samples")
+	}
+}
+
+// TestReservoirRingEviction: past ReservoirCap samples the oldest are
+// displaced, and samples() returns insertion order.
+func TestReservoirRingEviction(t *testing.T) {
+	g := &Stages{}
+	for i := 0; i < ReservoirCap+10; i++ {
+		g.ObserveShaped(StageMondrian, Shape{Rows: i + 1}, time.Microsecond)
+	}
+	got := g.Samples(StageMondrian)
+	if len(got) != ReservoirCap {
+		t.Fatalf("reservoir size = %d, want %d", len(got), ReservoirCap)
+	}
+	if got[0].Shape.Rows != 11 || got[len(got)-1].Shape.Rows != ReservoirCap+10 {
+		t.Fatalf("window = [%d..%d], want [11..%d]",
+			got[0].Shape.Rows, got[len(got)-1].Shape.Rows, ReservoirCap+10)
+	}
+}
+
+// TestRingOpFilterAndFind: Snapshot's op filter narrows to one
+// endpoint and Find resolves a retained id (and only a retained id).
+func TestRingOpFilterAndFind(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Start("GET /a").Finish()
+	tr.Start("POST /v1/attack").Finish()
+	tr.Start("GET /a").Finish()
+
+	views := tr.Ring().Snapshot(0, "GET /a")
+	if len(views) != 2 {
+		t.Fatalf("op filter kept %d traces, want 2: %+v", len(views), views)
+	}
+	for _, v := range views {
+		if v.Op != "GET /a" {
+			t.Fatalf("op filter leaked %+v", v)
+		}
+	}
+	if len(tr.Ring().Snapshot(0, "DELETE /nope")) != 0 {
+		t.Fatal("unknown op matched traces")
+	}
+
+	v, ok := tr.Ring().Find("req_2")
+	if !ok || v.Op != "POST /v1/attack" {
+		t.Fatalf("Find(req_2) = %+v, %v", v, ok)
+	}
+	if _, ok := tr.Ring().Find("req_99"); ok {
+		t.Fatal("Find matched an unretained id")
+	}
+	var r *Ring
+	if _, ok := r.Find("req_1"); ok {
+		t.Fatal("nil ring found a trace")
 	}
 }
 
@@ -221,7 +323,7 @@ func TestRingSlowFilter(t *testing.T) {
 	slow.Root().dur = 50 * time.Millisecond
 	// Rebuild the view with the forced duration.
 	tr.Ring().Add(slow)
-	views := tr.Ring().Snapshot(10 * time.Millisecond)
+	views := tr.Ring().Snapshot(10*time.Millisecond, "")
 	for _, v := range views {
 		if v.DurMilli < 10 {
 			t.Fatalf("filter kept fast trace %+v", v)

@@ -6,12 +6,14 @@ import (
 )
 
 // SpanView is one span rendered for the debug surface: offset from
-// the trace start, duration, and children in attach order.
+// the trace start, duration, the workload shape (when the span was
+// annotated), and children in attach order.
 type SpanView struct {
 	Name        string     `json:"name"`
 	Stage       string     `json:"stage,omitempty"`
 	OffsetMilli float64    `json:"offset_ms"`
 	DurMilli    float64    `json:"duration_ms"`
+	Shape       *Shape     `json:"shape,omitempty"`
 	Children    []SpanView `json:"children,omitempty"`
 }
 
@@ -80,13 +82,19 @@ func childViews(s *Span, t0 time.Time) []SpanView {
 			DurMilli:    float64(c.dur) / float64(time.Millisecond),
 			Children:    childViews(c, t0),
 		}
+		if !c.shape.IsZero() {
+			sh := c.shape
+			out[i].Shape = &sh
+		}
 	}
 	return out
 }
 
 // Snapshot returns the retained traces, newest first. min filters out
-// traces faster than the threshold (0 keeps everything).
-func (r *Ring) Snapshot(min time.Duration) []TraceView {
+// traces faster than the threshold (0 keeps everything); a non-empty
+// op keeps only traces of that operation (the "METHOD /path" the trace
+// was started under), so a noisy ring can be narrowed to one endpoint.
+func (r *Ring) Snapshot(min time.Duration, op string) []TraceView {
 	if r == nil {
 		return nil
 	}
@@ -102,7 +110,32 @@ func (r *Ring) Snapshot(min time.Duration) []TraceView {
 		if time.Duration(v.DurMilli*float64(time.Millisecond)) < min {
 			continue
 		}
+		if op != "" && v.Op != op {
+			continue
+		}
 		out = append(out, v)
 	}
 	return out
+}
+
+// Find returns the retained trace with the given id, scanning newest
+// first (ids are unique per process, but a wrapped counter would
+// resolve to the most recent holder). Nil-safe.
+func (r *Ring) Find(id string) (TraceView, bool) {
+	if r == nil {
+		return TraceView{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	size := r.n
+	if size > len(r.buf) {
+		size = len(r.buf)
+	}
+	for i := 0; i < size; i++ {
+		v := r.buf[((r.next-1-i)%len(r.buf)+len(r.buf))%len(r.buf)]
+		if v.ID == id {
+			return v, true
+		}
+	}
+	return TraceView{}, false
 }

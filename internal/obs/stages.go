@@ -2,6 +2,7 @@ package obs
 
 import (
 	"math/bits"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -60,19 +61,90 @@ type StageStats struct {
 	Buckets      []HistBucket `json:"buckets,omitempty"`
 }
 
+// ShapeSample is one calibration observation: the workload shape a
+// stage pass operated on and how long it took. Micros is float64 so the
+// fitting math consumes it directly.
+type ShapeSample struct {
+	Shape  Shape   `json:"shape"`
+	Micros float64 `json:"us"`
+}
+
+// ReservoirCap bounds each stage's calibration reservoir. The reservoir
+// is a ring — the newest ReservoirCap shaped observations — so the
+// fitted cost model tracks the current machine and workload rather than
+// process-lifetime history (a drifted machine refits within one
+// window).
+const ReservoirCap = 512
+
+// reservoir is one stage's bounded (shape, duration) window. Stage
+// passes are coarse (one observation per pipeline pass, never per
+// tuple), so a mutex — not atomics — is the right price here.
+type reservoir struct {
+	mu   sync.Mutex
+	buf  [ReservoirCap]ShapeSample
+	next int
+	n    int
+}
+
+func (r *reservoir) add(s ShapeSample) {
+	r.mu.Lock()
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % ReservoirCap
+	if r.n < ReservoirCap {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// samples returns the retained window, oldest first.
+func (r *reservoir) samples() []ShapeSample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ShapeSample, 0, r.n)
+	start := r.next - r.n
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[((start+i)%ReservoirCap+ReservoirCap)%ReservoirCap])
+	}
+	return out
+}
+
 // Stages is the aggregate per-stage ledger: one histogram per pipeline
-// stage, shared by every trace of a server. The zero value is ready;
+// stage plus a bounded reservoir of shaped observations for the cost
+// model, shared by every trace of a server. The zero value is ready;
 // a nil *Stages ignores observations.
 type Stages struct {
 	hists [numStages]Hist
+	res   [numStages]reservoir
 }
 
 // Observe folds one stage pass into the ledger.
 func (g *Stages) Observe(st Stage, d time.Duration) {
+	g.ObserveShaped(st, Shape{}, d)
+}
+
+// ObserveShaped folds one stage pass into the ledger and — when the
+// pass was shape-annotated — into the stage's calibration reservoir.
+// Unannotated passes still count in the histogram but never displace
+// calibration samples.
+func (g *Stages) ObserveShaped(st Stage, sh Shape, d time.Duration) {
 	if g == nil || st <= StageNone || st >= numStages {
 		return
 	}
 	g.hists[st].Observe(d)
+	if !sh.IsZero() {
+		g.res[st].add(ShapeSample{Shape: sh, Micros: float64(d) / float64(time.Microsecond)})
+	}
+}
+
+// Samples returns a copy of the stage's calibration reservoir, oldest
+// first (nil-safe). The order is the insertion order, so consumers that
+// iterate it — the cost-model fit — are deterministic given the same
+// observation sequence.
+func (g *Stages) Samples(st Stage) []ShapeSample {
+	if g == nil || st <= StageNone || st >= numStages {
+		return nil
+	}
+	return g.res[st].samples()
 }
 
 // Snapshot returns the ledger keyed by stage name, omitting stages

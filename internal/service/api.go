@@ -17,10 +17,21 @@
 //	                         ("bprimes": [..] → amortized bandwidth sweep)
 //	POST /v1/risk            worst-case disclosure risk of a release
 //	                         (accepts the same "bprimes" sweep form)
+//	GET  /v1/estimate        price a hypothetical request from the
+//	                         calibrated cost model without running it
 //	GET  /v1/releases/{id}   release metadata
 //	GET  /v1/jobs/{id}       async anonymize job status
 //	GET  /healthz            liveness
-//	GET  /metrics            counters and latency quantiles (JSON)
+//	GET  /metrics            counters, latency quantiles, stage ledger,
+//	                         and fitted cost model (JSON;
+//	                         ?format=prom → OpenMetrics text)
+//
+// The anonymize, attack, and risk endpoints accept an opt-in
+// "explain": true field (or ?explain=1) that attaches a cost block —
+// the model's predicted cold-path cost at the request's workload
+// shape, the actual per-stage spend from the request's own trace, and
+// the residual. Bodies without it are byte-identical to pre-explain
+// responses.
 //
 // With a data directory configured (cmd/serve -data-dir), the server
 // is durable: schemas, dataset manifests, and releases write through
@@ -111,6 +122,11 @@ type AnonymizeRequest struct {
 	// finishes. Async does not participate in the release key — a sync
 	// and an async request for the same release share one computation.
 	Async bool `json:"async,omitempty"`
+	// Explain attaches the opt-in cost block (predicted vs actual stage
+	// cost) to the response. Like Async it is transport, not content: it
+	// never enters the release key or the persisted request, and with it
+	// off the body is byte-identical to an unexplained request.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // normalize applies defaults in place.
@@ -188,6 +204,9 @@ type AnonymizeResponse struct {
 	Records     int     `json:"records"`
 	AvgGroup    float64 `json:"avg_group"`
 	Seconds     float64 `json:"seconds"`
+	// Explain is the opt-in cost block ("explain": true or ?explain=1);
+	// omitted by default so the body stays byte-identical.
+	Explain *ExplainBlock `json:"explain,omitempty"`
 }
 
 // AttackRequest simulates adversary Adv(b') against a stored release.
@@ -201,6 +220,9 @@ type AttackRequest struct {
 	Release string    `json:"release"`
 	BPrime  *float64  `json:"bprime"`            // default 0.3 when omitted
 	BPrimes []float64 `json:"bprimes,omitempty"` // sweep form, max MaxSweepPoints
+	// Explain attaches the opt-in cost block to the response (the
+	// ?explain=1 query form is equivalent). Transport, not content.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // MaxSweepPoints caps the bprimes grid of one attack/risk request: a
@@ -214,12 +236,14 @@ const MaxSweepPoints = 64
 type AttackSweepResponse struct {
 	Release string           `json:"release"`
 	Sweep   []AttackResponse `json:"sweep"`
+	Explain *ExplainBlock    `json:"explain,omitempty"`
 }
 
 // RiskSweepResponse is the bprimes form of POST /v1/risk.
 type RiskSweepResponse struct {
 	Release string         `json:"release"`
 	Sweep   []RiskResponse `json:"sweep"`
+	Explain *ExplainBlock  `json:"explain,omitempty"`
 }
 
 // AttackResponse reports the attack outcome: breach count under the
@@ -234,13 +258,61 @@ type AttackResponse struct {
 	P90Risk    float64 `json:"p90_risk"`
 	P99Risk    float64 `json:"p99_risk"`
 	WorstRisk  float64 `json:"worst_risk"`
+	// Explain is the opt-in cost block. Per-request: computeAttack's
+	// singleflight shares the value fields, never this pointer.
+	Explain *ExplainBlock `json:"explain,omitempty"`
 }
 
 // RiskResponse is the worst-case disclosure risk (Figure 3 quantity).
 type RiskResponse struct {
-	Release   string  `json:"release"`
-	BPrime    float64 `json:"bprime"`
-	WorstRisk float64 `json:"worst_risk"`
+	Release   string        `json:"release"`
+	BPrime    float64       `json:"bprime"`
+	WorstRisk float64       `json:"worst_risk"`
+	Explain   *ExplainBlock `json:"explain,omitempty"`
+}
+
+// StagePrediction is one stage's priced entry in an explain block or
+// estimate: the fitted model evaluated at the request's workload shape,
+// with the fit quality so readers can judge how much to trust it.
+type StagePrediction struct {
+	Stage        string    `json:"stage"`
+	Shape        obs.Shape `json:"shape"`
+	Formula      string    `json:"formula"`
+	PredictedUS  float64   `json:"predicted_us"`
+	R2           float64   `json:"r2"`
+	MedAbsRelErr float64   `json:"med_abs_rel_err"`
+	Samples      int       `json:"samples"`
+}
+
+// ExplainBlock is the opt-in cost annotation on anonymize/attack/risk
+// responses: what the calibrated cost model predicted the request's
+// cold-path stages would cost, what this request actually spent per
+// stage (from its own trace — empty when the work was served from a
+// cache or another request's in-flight computation), and the residual.
+// A large negative residual on a cached response is the cache working;
+// a large positive residual on a miss is the model mispricing the
+// shape, and shows up in /metrics cost_model med_abs_rel_err too.
+type ExplainBlock struct {
+	PredictedUS float64           `json:"predicted_us"`
+	ActualUS    float64           `json:"actual_us"`
+	ResidualUS  float64           `json:"residual_us"`
+	Predicted   []StagePrediction `json:"predicted,omitempty"`
+	Actual      []obs.StageTiming `json:"actual,omitempty"`
+	// Uncalibrated lists stages the request would run for which the
+	// model has no samples yet (their cost is missing from PredictedUS).
+	Uncalibrated []string `json:"uncalibrated,omitempty"`
+}
+
+// EstimateResponse is the GET /v1/estimate payload: the priced
+// cold-path cost of a hypothetical request, computed purely from the
+// calibrated cost model and the named artifacts' shapes — nothing is
+// run. The same pricing feeds explain blocks, so estimate-then-run
+// residuals are directly comparable.
+type EstimateResponse struct {
+	Op           string            `json:"op"`
+	PredictedUS  float64           `json:"predicted_us"`
+	Stages       []StagePrediction `json:"stages,omitempty"`
+	Uncalibrated []string          `json:"uncalibrated,omitempty"`
 }
 
 // ReleaseInfo is the GET /v1/releases/{id} payload.

@@ -4,6 +4,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -17,13 +18,15 @@ type TracesResponse struct {
 
 // DebugHandler returns the diagnostics surface cmd/serve mounts on its
 // separate -debug-addr listener: GET /debug/traces (recent slow traces
-// from the tracer's ring, ?min_ms= filter) plus the standard
-// net/http/pprof endpoints under /debug/pprof/. It is a distinct
-// handler — not part of ServeHTTP — so production traffic and the
-// profiling surface never share a listener.
+// from the tracer's ring, ?min_ms= and ?endpoint= filters),
+// GET /debug/traces/{id} (one trace by id, regardless of speed), plus
+// the standard net/http/pprof endpoints under /debug/pprof/. It is a
+// distinct handler — not part of ServeHTTP — so production traffic and
+// the profiling surface never share a listener.
 func (s *Server) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/traces", s.handleDebugTraces)
+	mux.HandleFunc("/debug/traces/", s.handleDebugTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -33,9 +36,11 @@ func (s *Server) DebugHandler() http.Handler {
 }
 
 // handleDebugTraces serves the ring of recent finished traces. The
-// min_ms query overrides the configured SlowTraceMillis threshold;
-// traces faster than the threshold are omitted. With tracing disabled
-// the list is empty rather than an error, so probes stay cheap.
+// min_ms query overrides the configured SlowTraceMillis threshold
+// (traces faster than the threshold are omitted) and endpoint narrows
+// to one operation, e.g. ?endpoint=POST+/v1/attack. With tracing
+// disabled the list is empty rather than an error, so probes stay
+// cheap.
 func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 	min := time.Duration(s.cfg.SlowTraceMillis) * time.Millisecond
 	if q := r.URL.Query().Get("min_ms"); q != "" {
@@ -46,9 +51,27 @@ func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		min = time.Duration(ms * float64(time.Millisecond))
 	}
-	views := s.tracer.Ring().Snapshot(min)
+	views := s.tracer.Ring().Snapshot(min, r.URL.Query().Get("endpoint"))
 	if views == nil {
 		views = []obs.TraceView{}
 	}
 	writeJSON(w, http.StatusOK, TracesResponse{Traces: views})
+}
+
+// handleDebugTrace serves one retained trace by id (the trace_id the
+// X-Trace-Id response header and the request log carry), bypassing the
+// slow-trace threshold — a trace an operator can name is worth showing
+// however fast it was. 404s when the id has rotated out of the ring.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/traces/")
+	if id == "" || strings.Contains(id, "/") {
+		writeErr(w, http.StatusNotFound, "trace id required: GET /debug/traces/{id}")
+		return
+	}
+	v, ok := s.tracer.Ring().Find(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "trace %q not retained (rotated out, or tracing disabled)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
 }

@@ -1,0 +1,263 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// TestExplainOptIn checks the explain discipline: bodies carry no
+// explain block unless asked, asking never pollutes the cached value,
+// and both opt-in spellings (?explain=1 and "explain":true) work.
+func TestExplainOptIn(t *testing.T) {
+	_, ts := newTestServerCfg(t, Config{Workers: 0, TraceRing: 32})
+	ds := createDataset(t, ts, 300, 1)
+	anonBody := fmt.Sprintf(`{"dataset":%q,"model":"distinct","k":3,"l":3}`, ds)
+
+	code, cold := post(t, ts, "/v1/anonymize", anonBody)
+	if code != http.StatusOK {
+		t.Fatalf("anonymize: status %d: %s", code, cold)
+	}
+	if bytes.Contains(cold, []byte(`"explain"`)) {
+		t.Fatalf("default anonymize body carries explain: %s", cold)
+	}
+	// Second plain call is the cached baseline ("cached" flips true on
+	// it, so the cold body can't serve as the comparison point).
+	code, plain := post(t, ts, "/v1/anonymize", anonBody)
+	if code != http.StatusOK {
+		t.Fatalf("anonymize (warm): status %d", code)
+	}
+
+	code, explained := post(t, ts, "/v1/anonymize?explain=1", anonBody)
+	if code != http.StatusOK {
+		t.Fatalf("anonymize?explain=1: status %d: %s", code, explained)
+	}
+	resp := mustJSON[AnonymizeResponse](t, explained)
+	if resp.Explain == nil {
+		t.Fatalf("explain=1 anonymize lacks explain block: %s", explained)
+	}
+	if resp.Explain.ActualUS < 0 {
+		t.Fatalf("explain actual_us negative: %+v", resp.Explain)
+	}
+	// The pipeline ran once (cold) before the explain request, so the
+	// mondrian stage has a calibration sample: the prediction side must
+	// price it rather than list it uncalibrated.
+	var pricedMondrian bool
+	for _, p := range resp.Explain.Predicted {
+		if p.Stage == "mondrian" {
+			pricedMondrian = true
+			if p.PredictedUS <= 0 {
+				t.Fatalf("mondrian predicted_us = %v, want > 0", p.PredictedUS)
+			}
+			if p.Shape.Rows != 300 {
+				t.Fatalf("mondrian shape rows = %d, want 300", p.Shape.Rows)
+			}
+		}
+	}
+	if !pricedMondrian {
+		t.Fatalf("explain priced no mondrian stage: %+v", resp.Explain)
+	}
+
+	// Asking for explain must not have mutated the cached release:
+	// a subsequent plain request returns the original bytes.
+	code, again := post(t, ts, "/v1/anonymize", anonBody)
+	if code != http.StatusOK {
+		t.Fatalf("anonymize (cached): status %d", code)
+	}
+	if !bytes.Equal(plain, again) {
+		t.Fatalf("cached body changed after an explain request:\n was %s\n now %s", plain, again)
+	}
+
+	// Attack: body-field opt-in on a shared cached response.
+	rel := resp.Release
+	attackBody := fmt.Sprintf(`{"release":%q,"bprime":0.4}`, rel)
+	code, atkPlain := post(t, ts, "/v1/attack", attackBody)
+	if code != http.StatusOK {
+		t.Fatalf("attack: status %d: %s", code, atkPlain)
+	}
+	if bytes.Contains(atkPlain, []byte(`"explain"`)) {
+		t.Fatalf("default attack body carries explain: %s", atkPlain)
+	}
+	code, atkExplained := post(t, ts, "/v1/attack",
+		fmt.Sprintf(`{"release":%q,"bprime":0.4,"explain":true}`, rel))
+	if code != http.StatusOK {
+		t.Fatalf("attack explain: status %d: %s", code, atkExplained)
+	}
+	if mustJSON[AttackResponse](t, atkExplained).Explain == nil {
+		t.Fatalf("attack with explain:true lacks block: %s", atkExplained)
+	}
+	code, atkAgain := post(t, ts, "/v1/attack", attackBody)
+	if code != http.StatusOK {
+		t.Fatalf("attack (cached): status %d", code)
+	}
+	if !bytes.Equal(atkPlain, atkAgain) {
+		t.Fatalf("cached attack body changed after an explain request:\n was %s\n now %s", atkPlain, atkAgain)
+	}
+
+	// Risk honors the query form too.
+	code, riskExplained := post(t, ts, "/v1/risk?explain=1", attackBody)
+	if code != http.StatusOK {
+		t.Fatalf("risk explain: status %d: %s", code, riskExplained)
+	}
+	if mustJSON[RiskResponse](t, riskExplained).Explain == nil {
+		t.Fatalf("risk?explain=1 lacks block: %s", riskExplained)
+	}
+}
+
+// TestEstimateEndpoint prices hypothetical requests against the live
+// cost model without running them, and checks the validation surface.
+func TestEstimateEndpoint(t *testing.T) {
+	_, ts := newTestServerCfg(t, Config{Workers: 0, TraceRing: 32})
+	ds := createDataset(t, ts, 300, 2)
+	rel := mustReleaseID(t, ts, ds)
+
+	// The anonymize above calibrated mondrian; pricing it must succeed.
+	pipelineRuns := func() int64 {
+		code, body := get(t, ts, "/metrics")
+		if code != http.StatusOK {
+			t.Fatalf("metrics: status %d", code)
+		}
+		return mustJSON[Snapshot](t, body).PipelineRuns
+	}
+	runsBefore := pipelineRuns()
+	code, body := get(t, ts, "/v1/estimate?op=anonymize&dataset="+ds)
+	if code != http.StatusOK {
+		t.Fatalf("estimate anonymize: status %d: %s", code, body)
+	}
+	est := mustJSON[EstimateResponse](t, body)
+	if est.Op != "anonymize" {
+		t.Fatalf("op = %q, want anonymize", est.Op)
+	}
+	if est.PredictedUS <= 0 {
+		t.Fatalf("calibrated anonymize estimate predicted_us = %v, want > 0: %s", est.PredictedUS, body)
+	}
+	if runsBefore != pipelineRuns() {
+		t.Fatal("estimate ran a pipeline")
+	}
+
+	// Attack estimate: the release exists, so shapes resolve; stages
+	// the attack path hasn't run yet land in uncalibrated rather than
+	// pricing at zero silently.
+	code, body = get(t, ts, "/v1/estimate?op=attack&release="+rel+"&bprimes=0.1,0.3")
+	if code != http.StatusOK {
+		t.Fatalf("estimate attack: status %d: %s", code, body)
+	}
+	est = mustJSON[EstimateResponse](t, body)
+	if got := len(est.Stages) + len(est.Uncalibrated); got == 0 {
+		t.Fatalf("attack estimate names no stages at all: %s", body)
+	}
+
+	// After a real attack the kernel stages are calibrated.
+	code, _ = post(t, ts, "/v1/attack", fmt.Sprintf(`{"release":%q,"bprime":0.4}`, rel))
+	if code != http.StatusOK {
+		t.Fatalf("attack: status %d", code)
+	}
+	code, body = get(t, ts, "/v1/estimate?op=risk&release="+rel)
+	if code != http.StatusOK {
+		t.Fatalf("estimate risk: status %d: %s", code, body)
+	}
+	est = mustJSON[EstimateResponse](t, body)
+	if est.PredictedUS <= 0 {
+		t.Fatalf("post-attack risk estimate predicted_us = %v, want > 0: %s", est.PredictedUS, body)
+	}
+	for _, st := range est.Uncalibrated {
+		if st == "inference" || st == "priors" {
+			t.Fatalf("%s still uncalibrated after an attack ran: %s", st, body)
+		}
+	}
+
+	for _, tc := range []struct {
+		q    string
+		code int
+	}{
+		{"", http.StatusBadRequest},
+		{"?op=melt", http.StatusBadRequest},
+		{"?op=anonymize", http.StatusBadRequest}, // missing dataset
+		{"?op=anonymize&dataset=" + ds + "&algo=magic", http.StatusBadRequest},
+		{"?op=anonymize&dataset=ds_nope", http.StatusNotFound},
+		{"?op=attack", http.StatusBadRequest}, // missing release
+		{"?op=attack&release=rel_nope", http.StatusNotFound},
+		{"?op=attack&release=" + rel + "&bprimes=0.1,zap", http.StatusBadRequest},
+	} {
+		code, body := get(t, ts, "/v1/estimate"+tc.q)
+		if code != tc.code {
+			t.Errorf("estimate%s: status %d, want %d (%s)", tc.q, code, tc.code, body)
+		}
+	}
+}
+
+// TestDebugTraceLookupAndFilter exercises the by-id and by-endpoint
+// forms of the trace surface.
+func TestDebugTraceLookupAndFilter(t *testing.T) {
+	s, ts := newTestServerCfg(t, Config{Workers: 0, TraceRing: 32})
+	dbg := httptest.NewServer(s.DebugHandler())
+	defer dbg.Close()
+
+	ds := createDataset(t, ts, 300, 3)
+	resp, err := http.Post(ts.URL+"/v1/anonymize", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"dataset":%q,"model":"distinct","k":3,"l":3}`, ds)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	reqID := resp.Header.Get("X-Request-Id")
+	if reqID == "" {
+		t.Fatal("traced anonymize missing X-Request-Id")
+	}
+
+	// By id: found regardless of speed, 404 for unknown or empty ids.
+	dget := func(path string) (int, []byte) {
+		t.Helper()
+		r, err := http.Get(dbg.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(r.Body); err != nil {
+			t.Fatal(err)
+		}
+		return r.StatusCode, buf.Bytes()
+	}
+	code, body := dget("/debug/traces/" + reqID)
+	if code != http.StatusOK {
+		t.Fatalf("trace by id: status %d: %s", code, body)
+	}
+	if !bytes.Contains(body, []byte(fmt.Sprintf(`"id":%q`, reqID))) {
+		t.Fatalf("trace body does not carry id %s: %s", reqID, body)
+	}
+	if code, _ = dget("/debug/traces/req_nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown trace id: status %d, want 404", code)
+	}
+	if code, _ = dget("/debug/traces/a/b"); code != http.StatusNotFound {
+		t.Fatalf("nested trace path: status %d, want 404", code)
+	}
+
+	// By endpoint: only matching ops, exact-match filter.
+	q := url.Values{"endpoint": {"POST /v1/anonymize"}, "min_ms": {"0"}}
+	code, body = dget("/debug/traces?" + q.Encode())
+	if code != http.StatusOK {
+		t.Fatalf("trace filter: status %d: %s", code, body)
+	}
+	tr := mustJSON[TracesResponse](t, body)
+	if len(tr.Traces) == 0 {
+		t.Fatal("endpoint filter returned no traces for POST /v1/anonymize")
+	}
+	for _, v := range tr.Traces {
+		if v.Op != "POST /v1/anonymize" {
+			t.Fatalf("filtered list carries op %q", v.Op)
+		}
+	}
+	q.Set("endpoint", "POST /v1/never")
+	code, body = dget("/debug/traces?" + q.Encode())
+	if code != http.StatusOK {
+		t.Fatalf("empty filter: status %d", code)
+	}
+	if tr := mustJSON[TracesResponse](t, body); len(tr.Traces) != 0 {
+		t.Fatalf("filter for unseen op returned %d traces", len(tr.Traces))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/costmodel"
 	"repro/internal/obs"
 )
 
@@ -203,11 +204,17 @@ type Snapshot struct {
 	// seconds, log-bucketed histogram) from the tracing substrate —
 	// empty when tracing is disabled.
 	Stages map[string]obs.StageStats `json:"stages"`
+	// CostModel is the calibrated per-stage cost model: fitted
+	// coefficients and quality per stage, keyed by stage name. Stages
+	// without shaped observations are absent; the map is empty when
+	// tracing is disabled.
+	CostModel map[string]costmodel.Fit `json:"cost_model"`
 }
 
 // snapshot assembles the current counter and latency state. stages is
-// the tracer's ledger snapshot (empty map when tracing is off).
-func (m *Metrics) snapshot(releases, datasets, pendingJobs int, stages map[string]obs.StageStats) Snapshot {
+// the tracer's ledger snapshot (empty map when tracing is off); cost
+// the fitted cost model's.
+func (m *Metrics) snapshot(releases, datasets, pendingJobs int, stages map[string]obs.StageStats, cost map[string]costmodel.Fit) Snapshot {
 	s := Snapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests:      m.Requests.Value(),
@@ -243,6 +250,7 @@ func (m *Metrics) snapshot(releases, datasets, pendingJobs int, stages map[strin
 		},
 		Endpoints: map[string]EndpointStats{},
 		Stages:    stages,
+		CostModel: cost,
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

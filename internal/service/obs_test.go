@@ -56,7 +56,7 @@ func TestTraceSpanTreeSync(t *testing.T) {
 		t.Fatal("traced response missing X-Request-Id")
 	}
 
-	views := s.tracer.Ring().Snapshot(0)
+	views := s.tracer.Ring().Snapshot(0, "")
 	tv, ok := findTrace(views, "POST /v1/anonymize", reqID)
 	if !ok {
 		t.Fatalf("no trace for POST /v1/anonymize id %s in ring (%d traces)", reqID, len(views))
@@ -87,7 +87,7 @@ func TestTraceSpanTreeSync(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("attack: status %d", code)
 	}
-	av, ok := findTrace(s.tracer.Ring().Snapshot(0), "POST /v1/attack", "")
+	av, ok := findTrace(s.tracer.Ring().Snapshot(0, ""), "POST /v1/attack", "")
 	if !ok {
 		t.Fatal("no trace for POST /v1/attack in ring")
 	}
@@ -138,7 +138,7 @@ func TestTraceAsyncJob(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 
-	tv, ok := findTrace(s.tracer.Ring().Snapshot(0), "job anonymize", jr.Job)
+	tv, ok := findTrace(s.tracer.Ring().Snapshot(0, ""), "job anonymize", jr.Job)
 	if !ok {
 		t.Fatalf("no trace named by job id %s in ring", jr.Job)
 	}
@@ -184,7 +184,7 @@ func TestSingleflightFollowerAttribution(t *testing.T) {
 	}
 
 	owners := 0
-	for _, tv := range s.tracer.Ring().Snapshot(0) {
+	for _, tv := range s.tracer.Ring().Snapshot(0, "") {
 		if tv.Op == "POST /v1/anonymize" && hasStage(tv.Spans, "mondrian") {
 			owners++
 		}
@@ -297,7 +297,7 @@ func TestDebugHandler(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("debug traces: status %d", resp.StatusCode)
 	}
-	views := s.tracer.Ring().Snapshot(0)
+	views := s.tracer.Ring().Snapshot(0, "")
 	if len(views) == 0 {
 		t.Fatal("ring empty after a traced request")
 	}

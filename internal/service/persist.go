@@ -287,6 +287,7 @@ func (s *Server) persistDataset(sp *obs.Span, rec datasetRecord, csvBody []byte)
 		return
 	}
 	wsp := sp.Child(obs.StagePersistWrite, "persist dataset "+rec.ID)
+	wsp.SetShape(obs.Shape{Rows: rec.N})
 	defer wsp.End()
 	if err := s.disk.saveDataset(rec, csvBody); err != nil {
 		s.metrics.PersistErrors.Add(1)
@@ -301,6 +302,7 @@ func (s *Server) persistRelease(sp *obs.Span, e *releaseEntry) {
 		return
 	}
 	wsp := sp.Child(obs.StagePersistWrite, "persist release "+e.id)
+	wsp.SetShape(obs.Shape{Rows: e.ds.table.N(), Groups: len(e.res.Groups)})
 	defer wsp.End()
 	rec := releaseRecord{
 		ID:          e.id,
@@ -360,6 +362,9 @@ func (s *Server) getDataset(sp *obs.Span, id string) (*datasetEntry, bool) {
 func (s *Server) recoverDataset(sp *obs.Span, id string) (*datasetEntry, error) {
 	psp := sp.Child(obs.StagePersistRead, "load dataset "+id)
 	rec, csvBody, err := s.disk.loadDataset(id)
+	if err == nil {
+		psp.SetShape(obs.Shape{Rows: rec.N})
+	}
 	psp.End()
 	if err != nil {
 		if !errors.Is(err, errNotPersisted) {
@@ -377,10 +382,16 @@ func (s *Server) recoverDataset(sp *obs.Span, id string) (*datasetEntry, error) 
 	case "synthetic":
 		ssp := sp.StartStage(obs.StageDatasetSynth)
 		table, err = schema.Synthesize(spec, rec.N, rec.Seed)
+		if err == nil {
+			ssp.SetShape(obs.Shape{Rows: table.N(), Dims: table.Schema.D()})
+		}
 		ssp.End()
 	case "csv":
 		dsp := sp.StartStage(obs.StageDatasetDecode)
 		table, err = dataset.ReadCSV(bytes.NewReader(csvBody), spec.ColumnSpecs())
+		if err == nil {
+			dsp.SetShape(obs.Shape{Rows: table.N(), Dims: table.Schema.D()})
+		}
 		dsp.End()
 	default:
 		err = fmt.Errorf("service: dataset %s has unknown source %q", id, rec.Source)
@@ -440,6 +451,9 @@ func (s *Server) recoverRelease(sp *obs.Span, id string, ds *datasetEntry) (*rel
 	}
 	psp := sp.Child(obs.StagePersistRead, "load release "+id)
 	rec, err := s.disk.loadRelease(id)
+	if err == nil {
+		psp.SetShape(obs.Shape{Rows: rec.Records, Groups: len(rec.Groups)})
+	}
 	psp.End()
 	if err != nil {
 		if !errors.Is(err, errNotPersisted) {

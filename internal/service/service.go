@@ -20,6 +20,7 @@ import (
 	"repro/internal/adult"
 	"repro/internal/anonymize"
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/dataset"
 	"repro/internal/kernel"
 	"repro/internal/obs"
@@ -142,6 +143,10 @@ type Server struct {
 	// debug ring; nil when Config.DisableTracing, which turns every
 	// span into a no-op.
 	tracer *obs.Tracer
+	// cost fits per-stage cost models against the tracer's shaped
+	// reservoirs; with tracing disabled it predicts nothing (estimate
+	// and explain degrade to uncalibrated, never to errors).
+	cost   *costmodel.Model
 	logger *slog.Logger
 
 	schemas  *schema.Registry
@@ -188,6 +193,7 @@ func New(cfg Config) (*Server, error) {
 	if !cfg.DisableTracing {
 		s.tracer = obs.NewTracer(cfg.TraceRing)
 	}
+	s.cost = costmodel.New(s.tracer.Stages())
 	s.schemas.MustRegister(adult.Spec())
 	s.releases.onEvict = func(string) { s.metrics.StoreEvictions.Add(1) }
 	if cfg.DataDir != "" {
@@ -209,6 +215,7 @@ func New(cfg Config) (*Server, error) {
 	s.route("/v1/anonymize", methods{http.MethodPost: s.handleAnonymize})
 	s.route("/v1/attack", methods{http.MethodPost: s.handleAttack})
 	s.route("/v1/risk", methods{http.MethodPost: s.handleRisk})
+	s.route("/v1/estimate", methods{http.MethodGet: s.handleEstimate})
 	s.route("/v1/releases/", methods{http.MethodGet: s.handleRelease})
 	s.route("/v1/jobs/", methods{http.MethodGet: s.handleJob})
 	s.route("/healthz", methods{http.MethodGet: s.handleHealthz})
@@ -452,6 +459,7 @@ func (s *Server) resolveSchema(w http.ResponseWriter, ref string) (*schema.Spec,
 func (s *Server) buildDataset(sp *obs.Span, id string, schemaID string, spec *schema.Spec, table *dataset.Table) (*datasetEntry, error) {
 	s.metrics.DatasetBuilds.Add(1)
 	esp := sp.StartStage(obs.StageEngineBuild)
+	esp.SetShape(obs.Shape{Rows: table.N(), Dims: table.Schema.D()})
 	eng, err := core.New(table, spec.Hierarchies(), nil, nil,
 		core.WithWorkers(parallel.Resolve(s.cfg.Workers)))
 	esp.End()
@@ -506,6 +514,9 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 		// trace; followers share the result without inheriting spans.
 		ssp := sp.StartStage(obs.StageDatasetSynth)
 		table, err := schema.Synthesize(spec, req.N, req.Seed)
+		if err == nil {
+			ssp.SetShape(obs.Shape{Rows: table.N(), Dims: table.Schema.D()})
+		}
 		ssp.End()
 		if err != nil {
 			// Wrap so every caller sharing this singleflight result —
@@ -568,6 +579,9 @@ func (s *Server) ingestCSV(w http.ResponseWriter, r *http.Request) {
 	sp := obs.SpanFromContext(r.Context())
 	dsp := sp.StartStage(obs.StageDatasetDecode)
 	table, err := dataset.ReadCSV(stream, spec.ColumnSpecs())
+	if err == nil {
+		dsp.SetShape(obs.Shape{Rows: table.N(), Dims: table.Schema.D()})
+	}
 	dsp.End()
 	if err != nil {
 		writeBodyErr(w, "decoding CSV", err)
@@ -621,6 +635,10 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Explain is transport, not content: strip it before the request
+	// reaches the release key, the job queue, or the persisted record.
+	explainWanted := wantExplain(r, req.Explain)
+	req.Explain = false
 	ds, ok := s.getDataset(obs.SpanFromContext(r.Context()), req.Dataset)
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown dataset %q", req.Dataset)
@@ -666,7 +684,7 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	obs.SpanFromContext(r.Context()).SetOutcome(src.String())
-	writeJSON(w, http.StatusOK, AnonymizeResponse{
+	resp := AnonymizeResponse{
 		Release:     entry.id,
 		Dataset:     ds.id,
 		Cached:      src != sourceMiss,
@@ -676,7 +694,11 @@ func (s *Server) handleAnonymize(w http.ResponseWriter, r *http.Request) {
 		Records:     ds.table.N(),
 		AvgGroup:    float64(ds.table.N()) / float64(len(entry.res.Groups)),
 		Seconds:     entry.seconds,
-	})
+	}
+	if explainWanted {
+		resp.Explain = s.explain(obs.SpanFromContext(r.Context()), s.anonymizeShapes(ds, req.Algo))
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // resolveOrCompute is the release-resolution core shared by the sync
@@ -867,25 +889,26 @@ func normalizeGrid(bprimes []float64) []float64 {
 // reports which form was used. An explicit out-of-range value — zero
 // included — is rejected, with the check and the message agreeing on
 // the valid (0, 1] range.
-func (s *Server) getRelease(w http.ResponseWriter, r *http.Request) (entry *releaseEntry, bprimes []float64, sweep, ok bool) {
+func (s *Server) getRelease(w http.ResponseWriter, r *http.Request) (entry *releaseEntry, bprimes []float64, sweep, explain, ok bool) {
 	var req AttackRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeBodyErr(w, "decoding request", err)
-		return nil, nil, false, false
+		return nil, nil, false, false, false
 	}
+	explain = wantExplain(r, req.Explain)
 	switch {
 	case req.BPrimes != nil:
 		if req.BPrime != nil {
 			writeErr(w, http.StatusBadRequest, "bprime and bprimes are mutually exclusive")
-			return nil, nil, false, false
+			return nil, nil, false, false, false
 		}
 		if len(req.BPrimes) == 0 {
 			writeErr(w, http.StatusBadRequest, "bprimes must name at least one bandwidth")
-			return nil, nil, false, false
+			return nil, nil, false, false, false
 		}
 		if len(req.BPrimes) > MaxSweepPoints {
 			writeErr(w, http.StatusBadRequest, "bprimes has %d points (max %d)", len(req.BPrimes), MaxSweepPoints)
-			return nil, nil, false, false
+			return nil, nil, false, false, false
 		}
 		bprimes = req.BPrimes
 		sweep = true
@@ -897,15 +920,15 @@ func (s *Server) getRelease(w http.ResponseWriter, r *http.Request) (entry *rele
 	for _, bp := range bprimes {
 		if bp <= 0 || bp > 1 {
 			writeErr(w, http.StatusBadRequest, "bprime must be in (0, 1] (got %g)", bp)
-			return nil, nil, false, false
+			return nil, nil, false, false, false
 		}
 	}
 	entry, found := s.resolveRelease(r.Context(), req.Release)
 	if !found {
 		writeErr(w, http.StatusNotFound, "unknown release %q", req.Release)
-		return nil, nil, false, false
+		return nil, nil, false, false, false
 	}
-	return entry, bprimes, sweep, true
+	return entry, bprimes, sweep, explain, true
 }
 
 // sweepResponses runs the amortized sweep and assembles per-bandwidth
@@ -926,7 +949,7 @@ func (s *Server) sweepResponses(ctx context.Context, entry *releaseEntry, bprime
 }
 
 func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
-	entry, bprimes, sweep, ok := s.getRelease(w, r)
+	entry, bprimes, sweep, explain, ok := s.getRelease(w, r)
 	if !ok {
 		return
 	}
@@ -936,7 +959,11 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusInternalServerError, "attacking: %v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, AttackSweepResponse{Release: entry.id, Sweep: results})
+		resp := AttackSweepResponse{Release: entry.id, Sweep: results}
+		if explain {
+			resp.Explain = s.attackExplain(r, entry, bprimes)
+		}
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	resp, err := s.computeAttack(r.Context(), entry, bprimes[0])
@@ -944,11 +971,27 @@ func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "attacking: %v", err)
 		return
 	}
+	if explain {
+		// The singleflight result is shared with concurrent callers;
+		// the per-request explain block goes on a copy, never the
+		// shared value.
+		out := *resp
+		out.Explain = s.attackExplain(r, entry, bprimes)
+		resp = &out
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// attackExplain builds the cost block for an attack/risk request: the
+// cold-path pricing at the request's grid width next to what this
+// request's trace actually spent.
+func (s *Server) attackExplain(r *http.Request, entry *releaseEntry, bprimes []float64) *ExplainBlock {
+	lanes := len(normalizeGrid(bprimes))
+	return s.explain(obs.SpanFromContext(r.Context()), attackShapes(entry, lanes))
+}
+
 func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
-	entry, bprimes, sweep, ok := s.getRelease(w, r)
+	entry, bprimes, sweep, explain, ok := s.getRelease(w, r)
 	if !ok {
 		return
 	}
@@ -962,6 +1005,9 @@ func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
 		for i, ar := range results {
 			resp.Sweep[i] = RiskResponse{Release: ar.Release, BPrime: ar.BPrime, WorstRisk: ar.WorstRisk}
 		}
+		if explain {
+			resp.Explain = s.attackExplain(r, entry, bprimes)
+		}
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
@@ -970,7 +1016,11 @@ func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "evaluating risk: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, RiskResponse{Release: resp.Release, BPrime: resp.BPrime, WorstRisk: resp.WorstRisk})
+	out := RiskResponse{Release: resp.Release, BPrime: resp.BPrime, WorstRisk: resp.WorstRisk}
+	if explain {
+		out.Explain = s.attackExplain(r, entry, bprimes)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
@@ -1033,7 +1083,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.snapshot(
+	snap := s.metrics.snapshot(
 		s.releases.len(), s.datasets.len(), s.jobs.pending(),
-		s.tracer.Stages().Snapshot()))
+		s.tracer.Stages().Snapshot(), s.cost.Snapshot())
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", promContentType)
+		w.WriteHeader(http.StatusOK)
+		w.Write(renderProm(snap))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
 }

@@ -1,6 +1,8 @@
 // Command benchjson converts `go test -bench -benchmem` output on
 // stdin into the BENCH_*.json format: benchmark name → ns/op, B/op,
-// allocs/op. With -baseline pointing at an earlier BENCH_*.json it
+// allocs/op, stamped with the recording host (CPU model, OS/arch, Go
+// version, GOMAXPROCS, git revision) so cross-machine diffs are
+// visibly suspect. With -baseline pointing at an earlier BENCH_*.json it
 // also emits per-benchmark deltas (speedup = baseline ns/op ÷ current,
 // alloc_ratio likewise), and it derives the AttackSweep amortization
 // ratio (sweep8 ÷ independent8) whenever both entries are present —
@@ -17,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"strconv"
 	"strings"
@@ -29,6 +32,43 @@ type Result struct {
 	AllocsOp float64 `json:"allocs_op,omitempty"`
 }
 
+// Host pins the machine a BENCH file was recorded on. ns/op deltas
+// between files are only meaningful when the host lines match — the
+// block makes a cross-machine diff visibly suspect instead of silently
+// wrong.
+type Host struct {
+	CPU        string `json:"cpu,omitempty"` // /proc/cpuinfo model name (absent off Linux)
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GitRev     string `json:"git_rev,omitempty"` // short HEAD at record time
+}
+
+// hostInfo collects the Host block. Every probe degrades to an empty
+// field rather than failing the run: a missing /proc/cpuinfo or git
+// binary must not block recording numbers.
+func hostInfo() Host {
+	h := Host{
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	if raw, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(raw), "\n") {
+			if name, ok := strings.CutPrefix(line, "model name"); ok {
+				h.CPU = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+				break
+			}
+		}
+	}
+	if rev, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		h.GitRev = strings.TrimSpace(string(rev))
+	}
+	return h
+}
+
 // Delta compares a benchmark against its baseline run.
 type Delta struct {
 	Speedup    float64 `json:"speedup"`               // baseline ns/op ÷ current ns/op
@@ -38,6 +78,7 @@ type Delta struct {
 // File is the BENCH_*.json document.
 type File struct {
 	Go         string             `json:"go"`
+	Host       *Host              `json:"host,omitempty"`
 	Benchmarks map[string]Result  `json:"benchmarks"`
 	Baseline   map[string]Result  `json:"baseline,omitempty"`
 	Deltas     map[string]Delta   `json:"deltas,omitempty"`
@@ -48,7 +89,8 @@ func main() {
 	baselinePath := flag.String("baseline", "", "earlier BENCH_*.json to diff against")
 	flag.Parse()
 
-	out := File{Go: runtime.Version(), Benchmarks: map[string]Result{}}
+	host := hostInfo()
+	out := File{Go: runtime.Version(), Host: &host, Benchmarks: map[string]Result{}}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		name, res, ok := parseLine(sc.Text())
