@@ -1,5 +1,5 @@
 // Command detlint runs the repo's invariant analyzers — the
-// determinism, concurrency, and hot-path checks under
+// determinism, concurrency, observability, and hot-path checks under
 // internal/analysis — over the module, in the spirit of a
 // go vet -vettool pass. The offline tree cannot vendor the x/tools
 // vet driver, so detlint carries its own loader (go list -export plus
@@ -8,28 +8,45 @@
 //
 // Usage:
 //
-//	detlint [-md file] [packages]
+//	detlint [-md file] [-json file] [-baseline file] [-ignore-budget file] [packages]
 //
 // With no package patterns it analyzes ./... . Each analyzer applies
 // only to the packages where its invariant is load-bearing (see
 // scopes); findings print as file:line:col: [analyzer] message and any
-// finding makes the exit status 1. -md additionally writes a markdown
-// report for CI step summaries.
+// finding makes the exit status 1.
+//
+//   - -md writes a markdown report for CI step summaries;
+//   - -json writes the machine-readable report: every finding
+//     (including the ones lint:ignore suppressed, flagged as such)
+//     plus the package and suppression-budget counters;
+//   - -baseline reads a previous -json report and gates only on NEW
+//     findings — known ones are printed as baselined but do not fail,
+//     so an invariant can be introduced before its backlog is paid;
+//   - -ignore-budget reads an integer from a committed file and fails
+//     if the tree's lint:ignore directive count exceeds it, so
+//     suppressions can be retired but never quietly accrue.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/atomicmix"
 	"repro/internal/analysis/canonjson"
+	"repro/internal/analysis/ctxflow"
 	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/lockheld"
 	"repro/internal/analysis/maporder"
 	"repro/internal/analysis/nakedgo"
 	"repro/internal/analysis/nondetsource"
+	"repro/internal/analysis/shapepass"
 )
 
 // scope decides whether an analyzer applies to a package path.
@@ -75,7 +92,16 @@ func everywhere(string) bool { return true }
 //     package licensed to own goroutines and WaitGroups;
 //   - hotalloc runs everywhere but only fires inside //detlint:hotpath
 //     functions;
-//   - canonjson guards the id-derivation packages.
+//   - canonjson guards the id-derivation packages;
+//   - lockheld guards the mutex-heavy serving and observability
+//     packages, where a blocking or lock-acquiring call inside a
+//     critical section convoys the request path;
+//   - shapepass guards every package that starts stage spans feeding
+//     the cost model's reservoirs;
+//   - ctxflow guards the compute layers' exported entry points, whose
+//     context/span plumbing the explain surface depends on;
+//   - atomicmix patrols everywhere: mixed atomic/plain access is a
+//     data race no package is licensed to carry.
 var suite = []scoped{
 	{maporder.Analyzer, pkgs(
 		"repro/internal/anatomy",
@@ -112,12 +138,53 @@ var suite = []scoped{
 		"repro/internal/schema",
 		"repro/internal/service",
 	)},
+	{lockheld.Analyzer, pkgs(
+		"repro/internal/service",
+		"repro/internal/obs",
+		"repro/internal/costmodel",
+	)},
+	{shapepass.Analyzer, pkgs(
+		"repro/internal/core",
+		"repro/internal/kernel",
+		"repro/internal/mondrian",
+		"repro/internal/service",
+	)},
+	{ctxflow.Analyzer, pkgs(
+		"repro/internal/core",
+		"repro/internal/kernel",
+		"repro/internal/mondrian",
+		"repro/internal/inference",
+	)},
+	{atomicmix.Analyzer, everywhere},
+}
+
+// jsonFinding is one diagnostic in the -json report and the -baseline
+// key space.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Baselined  bool   `json:"baselined,omitempty"`
+}
+
+// jsonReport is the -json payload.
+type jsonReport struct {
+	Packages         int           `json:"packages"`
+	Findings         []jsonFinding `json:"findings"`
+	Suppressed       int           `json:"suppressed"`
+	IgnoreDirectives int           `json:"ignore_directives"`
 }
 
 func main() {
 	mdPath := flag.String("md", "", "write a markdown report (for CI step summaries) to this file")
+	jsonPath := flag.String("json", "", "write the machine-readable findings report to this file")
+	baselinePath := flag.String("baseline", "", "read a previous -json report and fail only on findings not in it")
+	budgetPath := flag.String("ignore-budget", "", "read the allowed lint:ignore count from this file and fail if the tree exceeds it")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: detlint [-md file] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: detlint [-md file] [-json file] [-baseline file] [-ignore-budget file] [packages]\n\nanalyzers:\n")
 		for _, s := range suite {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", s.analyzer.Name, s.analyzer.Doc)
 		}
@@ -136,9 +203,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	var diags []analysis.Diagnostic
-	suppressed := 0
+	var diags, suppressedDiags []analysis.Diagnostic
+	ignoreDirectives := 0
 	for _, pkg := range loaded {
+		ignoreDirectives += analysis.CountIgnoreDirectives(pkg)
 		for _, s := range suite {
 			if !s.applies(pkg.PkgPath) {
 				continue
@@ -149,9 +217,130 @@ func main() {
 				os.Exit(2)
 			}
 			diags = append(diags, pass.Diagnostics()...)
-			suppressed += pass.Suppressed()
+			suppressedDiags = append(suppressedDiags, pass.SuppressedDiagnostics()...)
 		}
 	}
+	sortDiags(diags)
+	sortDiags(suppressedDiags)
+
+	cwd, _ := os.Getwd()
+	rel := func(path string) string {
+		if cwd != "" {
+			if r, err := filepath.Rel(cwd, path); err == nil && !strings.HasPrefix(r, "..") {
+				return r
+			}
+		}
+		return path
+	}
+
+	// The baseline gate: a finding already in the committed report is
+	// shown but does not fail the run.
+	baseline := map[string]int{}
+	if *baselinePath != "" {
+		b, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detlint: reading baseline: %v\n", err)
+			os.Exit(2)
+		}
+		baseline = b
+	}
+
+	findings := make([]jsonFinding, 0, len(diags)+len(suppressedDiags))
+	newFindings := 0
+	for _, d := range diags {
+		f := jsonFinding{
+			File:     rel(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		// Line and column shift with unrelated edits; file, analyzer,
+		// and message identify a finding across them.
+		if k := f.File + "|" + f.Analyzer + "|" + f.Message; baseline[k] > 0 {
+			baseline[k]--
+			f.Baselined = true
+		} else {
+			newFindings++
+		}
+		findings = append(findings, f)
+	}
+	for _, d := range suppressedDiags {
+		findings = append(findings, jsonFinding{
+			File:       rel(d.Pos.Filename),
+			Line:       d.Pos.Line,
+			Col:        d.Pos.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: true,
+		})
+	}
+
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		marker := ""
+		if f.Baselined {
+			marker = " (baselined)"
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s%s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message, marker)
+	}
+	fmt.Printf("detlint: %d package(s), %d finding(s), %d suppressed by lint:ignore, %d lint:ignore directive(s)\n",
+		len(loaded), len(diags), len(suppressedDiags), ignoreDirectives)
+
+	if *mdPath != "" {
+		if err := writeMarkdown(*mdPath, len(loaded), len(suppressedDiags), findings); err != nil {
+			fmt.Fprintf(os.Stderr, "detlint: writing %s: %v\n", *mdPath, err)
+			os.Exit(2)
+		}
+	}
+	if *jsonPath != "" {
+		report := jsonReport{
+			Packages:         len(loaded),
+			Findings:         findings,
+			Suppressed:       len(suppressedDiags),
+			IgnoreDirectives: ignoreDirectives,
+		}
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(b, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detlint: writing %s: %v\n", *jsonPath, err)
+			os.Exit(2)
+		}
+	}
+
+	failed := false
+	if *budgetPath != "" {
+		budget, err := readBudget(*budgetPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "detlint: reading ignore budget: %v\n", err)
+			os.Exit(2)
+		}
+		if ignoreDirectives > budget {
+			fmt.Fprintf(os.Stderr, "detlint: %d lint:ignore directive(s) exceed the committed budget of %d — fix the finding or justify raising %s\n",
+				ignoreDirectives, budget, *budgetPath)
+			failed = true
+		}
+	}
+	if *baselinePath != "" {
+		if newFindings > 0 {
+			fmt.Fprintf(os.Stderr, "detlint: %d finding(s) not in baseline %s\n", newFindings, *baselinePath)
+			failed = true
+		}
+	} else if len(diags) > 0 {
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// sortDiags orders diagnostics by position then analyzer for stable
+// output.
+func sortDiags(diags []analysis.Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -165,38 +354,71 @@ func main() {
 		}
 		return a.Analyzer < b.Analyzer
 	})
+}
 
-	for _, d := range diags {
-		fmt.Printf("%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+// loadBaseline reads a previous -json report into the multiset of
+// known-finding keys (suppressed entries are skipped: un-suppressing a
+// finding should surface it as new).
+func loadBaseline(path string) (map[string]int, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
-	fmt.Printf("detlint: %d package(s), %d finding(s), %d suppressed by lint:ignore\n",
-		len(loaded), len(diags), suppressed)
-
-	if *mdPath != "" {
-		if err := writeMarkdown(*mdPath, len(loaded), suppressed, diags); err != nil {
-			fmt.Fprintf(os.Stderr, "detlint: writing %s: %v\n", *mdPath, err)
-			os.Exit(2)
+	var report jsonReport
+	if err := json.Unmarshal(b, &report); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	out := map[string]int{}
+	for _, f := range report.Findings {
+		if f.Suppressed {
+			continue
 		}
+		out[f.File+"|"+f.Analyzer+"|"+f.Message]++
 	}
-	if len(diags) > 0 {
-		os.Exit(1)
+	return out, nil
+}
+
+// readBudget parses the committed suppression budget: one integer,
+// whitespace tolerated.
+func readBudget(path string) (int, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
 	}
+	n, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil {
+		return 0, fmt.Errorf("%s: %v", path, err)
+	}
+	return n, nil
 }
 
 // writeMarkdown renders the findings as a table for CI step summaries.
-func writeMarkdown(path string, packages, suppressed int, diags []analysis.Diagnostic) error {
+func writeMarkdown(path string, packages, suppressed int, findings []jsonFinding) error {
+	active := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			active++
+		}
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "### detlint\n\n")
 	fmt.Fprintf(&b, "%d package(s) analyzed, **%d finding(s)**, %d suppressed by `lint:ignore`.\n\n",
-		packages, len(diags), suppressed)
-	if len(diags) == 0 {
-		b.WriteString("Clean: every determinism, concurrency, and hot-path invariant holds.\n")
+		packages, active, suppressed)
+	if active == 0 {
+		b.WriteString("Clean: every determinism, concurrency, observability, and hot-path invariant holds.\n")
 	} else {
 		b.WriteString("| Location | Analyzer | Finding |\n|---|---|---|\n")
-		for _, d := range diags {
-			fmt.Fprintf(&b, "| `%s:%d:%d` | %s | %s |\n",
-				d.Pos.Filename, d.Pos.Line, d.Pos.Column,
-				d.Analyzer, strings.ReplaceAll(d.Message, "|", "\\|"))
+		for _, f := range findings {
+			if f.Suppressed {
+				continue
+			}
+			note := ""
+			if f.Baselined {
+				note = " _(baselined)_"
+			}
+			fmt.Fprintf(&b, "| `%s:%d:%d` | %s | %s%s |\n",
+				f.File, f.Line, f.Col,
+				f.Analyzer, strings.ReplaceAll(f.Message, "|", "\\|"), note)
 		}
 	}
 	return os.WriteFile(path, []byte(b.String()), 0o644)

@@ -39,11 +39,14 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// Diagnostic is one finding, positioned and attributed.
+// Diagnostic is one finding, positioned and attributed. Suppressed
+// findings (absorbed by a reasoned lint:ignore) are retained for the
+// machine-readable report rather than dropped.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool
 }
 
 // Pass carries one analyzer's view of one package.
@@ -54,8 +57,9 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	pkg        *Package
 	diags      []Diagnostic
-	suppressed int
+	suppressed []Diagnostic
 	ignores    map[string]map[int][]string // filename → line → analyzer names
 }
 
@@ -67,29 +71,42 @@ func NewPass(a *Analyzer, pkg *Package) *Pass {
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
+		pkg:      pkg,
 	}
 }
 
-// Reportf records a diagnostic at pos unless a lint:ignore directive
-// naming this analyzer covers the line.
+// Reportf records a diagnostic at pos. A lint:ignore directive naming
+// this analyzer moves the finding to the suppressed list; a position
+// inside a generated file drops it entirely (generated code is not
+// hand-maintained against the tree's conventions).
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.ignoredAt(position) {
-		p.suppressed++
+	if p.pkg != nil && p.pkg.Generated[position.Filename] {
 		return
 	}
-	p.diags = append(p.diags, Diagnostic{
+	d := Diagnostic{
 		Pos:      position,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
-	})
+	}
+	if p.ignoredAt(position) {
+		d.Suppressed = true
+		p.suppressed = append(p.suppressed, d)
+		return
+	}
+	p.diags = append(p.diags, d)
 }
 
-// Diagnostics returns the findings reported so far.
+// Diagnostics returns the active (unsuppressed) findings reported so
+// far.
 func (p *Pass) Diagnostics() []Diagnostic { return p.diags }
 
+// SuppressedDiagnostics returns the findings lint:ignore directives
+// absorbed, for machine-readable reports.
+func (p *Pass) SuppressedDiagnostics() []Diagnostic { return p.suppressed }
+
 // Suppressed returns how many findings lint:ignore directives absorbed.
-func (p *Pass) Suppressed() int { return p.suppressed }
+func (p *Pass) Suppressed() int { return len(p.suppressed) }
 
 // ignoredAt reports whether a directive for this analyzer covers the
 // position: a directive on line L applies to lines L and L+1, so both
@@ -111,6 +128,38 @@ func (p *Pass) ignoredAt(pos token.Position) bool {
 
 const ignorePrefix = "//lint:ignore "
 
+// parseIgnore splits a well-formed lint:ignore directive into its
+// analyzer names; ok is false for comments that are not directives or
+// directives missing the mandatory reason.
+func parseIgnore(text string) (names string, ok bool) {
+	rest, ok := strings.CutPrefix(text, ignorePrefix)
+	if !ok {
+		return "", false
+	}
+	names, reason, ok := strings.Cut(strings.TrimSpace(rest), " ")
+	if !ok || strings.TrimSpace(reason) == "" {
+		return "", false // no reason given: directive is inert
+	}
+	return names, true
+}
+
+// CountIgnoreDirectives counts the well-formed lint:ignore directives
+// in a package's files — the suppression budget the CI gate holds
+// constant (see cmd/detlint -ignore-budget).
+func CountIgnoreDirectives(pkg *Package) int {
+	n := 0
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if _, ok := parseIgnore(c.Text); ok {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
 // buildIgnores indexes every well-formed lint:ignore directive in the
 // pass's files. A directive must name at least one analyzer and give a
 // non-empty reason; anything less does not suppress.
@@ -119,13 +168,9 @@ func (p *Pass) buildIgnores() {
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				names, ok := parseIgnore(c.Text)
 				if !ok {
 					continue
-				}
-				names, reason, ok := strings.Cut(strings.TrimSpace(rest), " ")
-				if !ok || strings.TrimSpace(reason) == "" {
-					continue // no reason given: directive is inert
 				}
 				pos := p.Fset.Position(c.Pos())
 				lines := p.ignores[pos.Filename]

@@ -47,23 +47,9 @@ func Run(t *testing.T, fixtureDir string, a *analysis.Analyzer) {
 	t.Helper()
 
 	tmp := t.TempDir()
-	entries, err := os.ReadDir(fixtureDir)
+	copied, err := copyFixtures(fixtureDir, tmp)
 	if err != nil {
-		t.Fatalf("reading fixtures: %v", err)
-	}
-	copied := 0
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		src, err := os.ReadFile(filepath.Join(fixtureDir, e.Name()))
-		if err != nil {
-			t.Fatalf("reading fixture %s: %v", e.Name(), err)
-		}
-		if err := os.WriteFile(filepath.Join(tmp, e.Name()), src, 0o644); err != nil {
-			t.Fatalf("writing fixture %s: %v", e.Name(), err)
-		}
-		copied++
+		t.Fatalf("copying fixtures: %v", err)
 	}
 	if copied == 0 {
 		t.Fatalf("no .go fixtures in %s", fixtureDir)
@@ -103,6 +89,44 @@ func Run(t *testing.T, fixtureDir string, a *analysis.Analyzer) {
 			t.Errorf("%s:%d: no diagnostic matching %q", e.file, e.line, e.pattern)
 		}
 	}
+}
+
+// copyFixtures mirrors the .go files of src into dst, descending into
+// subdirectories so a fixture can carry helper packages (e.g. a mock
+// obs package that analyzers matching on package/type names resolve
+// exactly like the real one).
+func copyFixtures(src, dst string) (int, error) {
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		return 0, err
+	}
+	copied := 0
+	for _, e := range entries {
+		if e.IsDir() {
+			sub := filepath.Join(dst, e.Name())
+			if err := os.MkdirAll(sub, 0o755); err != nil {
+				return copied, err
+			}
+			n, err := copyFixtures(filepath.Join(src, e.Name()), sub)
+			copied += n
+			if err != nil {
+				return copied, err
+			}
+			continue
+		}
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			return copied, err
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			return copied, err
+		}
+		copied++
+	}
+	return copied, nil
 }
 
 // claim marks the first unmatched expectation that covers d, returning

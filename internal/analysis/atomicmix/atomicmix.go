@@ -1,0 +1,124 @@
+// Package atomicmix flags variables and struct fields accessed both
+// through sync/atomic functions and by plain reads/writes. Mixed
+// access is a data race even when it "works": the plain access is
+// unsynchronized against the atomic one, the race detector only
+// catches the schedules it happens to see, and on weakly-ordered
+// hardware the plain read can observe a torn or stale value. The fix
+// is all-or-nothing — either every access goes through sync/atomic
+// (or a typed atomic.Int64-style holder, which makes plain access
+// unrepresentable), or none does and a mutex guards the field.
+//
+// The analyzer runs in two passes over the package: the first records
+// every object whose address is taken by a sync/atomic call (and
+// where), the second flags every other reference to those objects.
+// Access inside the atomic calls themselves is sanctioned; everything
+// else — increments, comparisons, struct-literal initialization after
+// first use — is reported at the offending site.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the atomicmix pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "forbids mixing sync/atomic and plain access to the same variable or field",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: objects addressed by sync/atomic calls, with the first
+	// atomic site for the message and the call extents to sanction.
+	atomicAt := map[types.Object]token.Position{}
+	var sanctioned []*ast.CallExpr
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass.Info, call) {
+				return true
+			}
+			sanctioned = append(sanctioned, call)
+			if obj := addressedObject(pass.Info, call); obj != nil {
+				if _, seen := atomicAt[obj]; !seen {
+					atomicAt[obj] = pass.Fset.Position(call.Pos())
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicAt) == 0 {
+		return nil
+	}
+
+	// Pass 2: any reference to those objects outside the atomic calls.
+	inSanctioned := func(pos token.Pos) bool {
+		for _, c := range sanctioned {
+			if pos >= c.Pos() && pos < c.End() {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			at, isAtomic := atomicAt[obj]
+			if !isAtomic || inSanctioned(id.Pos()) {
+				return true
+			}
+			pass.Reportf(id.Pos(), "%s is accessed atomically at %s:%d but plainly here — mixed access is a data race; use sync/atomic everywhere or a typed atomic holder", obj.Name(), shortPath(at.Filename), at.Line)
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicCall reports whether the call invokes a sync/atomic
+// package-level function (typed-atomic methods never take addresses of
+// plain fields, so they need no sanctioning).
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.Callee(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// addressedObject resolves the variable or field whose address the
+// atomic call's first argument takes.
+func addressedObject(info *types.Info, call *ast.CallExpr) types.Object {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	unary, ok := analysis.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || unary.Op != token.AND {
+		return nil
+	}
+	switch target := analysis.Unparen(unary.X).(type) {
+	case *ast.Ident:
+		return info.Uses[target]
+	case *ast.SelectorExpr:
+		return info.Uses[target.Sel]
+	}
+	return nil
+}
+
+// shortPath trims the filename to its base for the cross-reference in
+// the message.
+func shortPath(filename string) string {
+	for i := len(filename) - 1; i >= 0; i-- {
+		if filename[i] == '/' {
+			return filename[i+1:]
+		}
+	}
+	return filename
+}

@@ -1,0 +1,63 @@
+// Package fixture exercises atomicmix: the same field touched through
+// sync/atomic and plainly is a data race.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	hits   int64 // mixed: atomic in Add, plain in Report
+	misses int64 // conforming: atomic everywhere
+	plain  int64 // conforming: never atomic, guarded by mu
+	typed  atomic.Int64
+	mu     sync.Mutex
+}
+
+// Add records a hit atomically.
+func (c *counter) Add() {
+	atomic.AddInt64(&c.hits, 1)
+	atomic.AddInt64(&c.misses, 0)
+	c.typed.Add(1)
+}
+
+// Report reads the same field without synchronization.
+func (c *counter) Report() int64 {
+	return c.hits // want `hits is accessed atomically at fixture.go:\d+ but plainly here`
+}
+
+// Reset mixes on the write side too.
+func (c *counter) Reset() {
+	c.hits = 0 // want `hits is accessed atomically at fixture.go:\d+ but plainly here`
+}
+
+// LoadMisses stays atomic: conforming.
+func (c *counter) LoadMisses() int64 {
+	return atomic.LoadInt64(&c.misses)
+}
+
+// PlainOnly never goes through sync/atomic, so the mutex discipline is
+// its own business: conforming.
+func (c *counter) PlainOnly() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.plain++
+	return c.plain
+}
+
+// TypedLoad uses the typed holder, which cannot be mixed: conforming.
+func (c *counter) TypedLoad() int64 {
+	return c.typed.Load()
+}
+
+// package-level mixed variable: the check is not field-specific.
+var generation int64
+
+func bumpGeneration() {
+	atomic.AddInt64(&generation, 1)
+}
+
+func readGeneration() int64 {
+	return generation // want `generation is accessed atomically at fixture.go:\d+ but plainly here`
+}

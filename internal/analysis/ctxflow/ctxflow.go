@@ -1,0 +1,125 @@
+// Package ctxflow keeps the observability plumbing connected through
+// the compute layers. Two invariants:
+//
+//   - an exported function that accepts a context.Context or *obs.Span
+//     must actually use it — an unnamed, blank, or never-referenced
+//     parameter silently severs cancellation and trace propagation for
+//     every caller that dutifully threads one in;
+//   - compute code must not mint fresh contexts with
+//     context.Background() or context.TODO() — a minted context
+//     detaches the work from the caller's deadline and span, which is
+//     exactly the break the explain/trace surface cannot see past.
+//
+// The serving edge legitimately creates root contexts; that is why
+// this analyzer is scoped to the compute packages (core, kernel,
+// mondrian, inference), not the tree at large.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the ctxflow pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "exported compute entry points must use their context/span parameters and never mint fresh contexts",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.IsExported() {
+				checkParams(pass, fd)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch analysis.FuncName(analysis.Callee(pass.Info, call)) {
+			case "context.Background", "context.TODO":
+				pass.Reportf(call.Pos(), "minting a fresh context in compute code severs the caller's cancellation and span propagation; accept and thread a ctx instead")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkParams flags context/span parameters of an exported function
+// that the body never references.
+func checkParams(pass *analysis.Pass, fd *ast.FuncDecl) {
+	for _, field := range fd.Type.Params.List {
+		kind, ok := plumbingType(pass.Info, field.Type)
+		if !ok {
+			continue
+		}
+		if len(field.Names) == 0 {
+			pass.Reportf(field.Pos(), "exported %s discards its %s parameter (unnamed) — name it and forward it so cancellation and tracing reach the callees", fd.Name.Name, kind)
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				pass.Reportf(name.Pos(), "exported %s discards its %s parameter (blank) — name it and forward it so cancellation and tracing reach the callees", fd.Name.Name, kind)
+				continue
+			}
+			obj := pass.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if !usesObject(pass.Info, fd.Body, obj) {
+				pass.Reportf(name.Pos(), "exported %s never uses its %s parameter %q — forward it to callees or drop it from the signature", fd.Name.Name, kind, name.Name)
+			}
+		}
+	}
+}
+
+// plumbingType reports whether the parameter type is context.Context
+// or *obs.Span, matching by package name so fixtures with mock
+// packages resolve like the real ones.
+func plumbingType(info *types.Info, expr ast.Expr) (string, bool) {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	switch named.Obj().Pkg().Name() + "." + named.Obj().Name() {
+	case "context.Context":
+		return "context.Context", true
+	case "obs.Span":
+		return "*obs.Span", true
+	}
+	return "", false
+}
+
+// usesObject reports whether the body references obj.
+func usesObject(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

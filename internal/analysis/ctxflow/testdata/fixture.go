@@ -1,0 +1,66 @@
+// Package fixture exercises ctxflow: exported entry points must use
+// their context/span parameters, and compute code must not mint
+// contexts.
+package fixture
+
+import (
+	"context"
+
+	"fixture/obs"
+)
+
+// DropsCtx accepts a context and never touches it.
+func DropsCtx(ctx context.Context, n int) int { // want `exported DropsCtx never uses its context.Context parameter "ctx"`
+	return n * n
+}
+
+// BlankCtx blanks the parameter outright.
+func BlankCtx(_ context.Context, n int) int { // want `exported BlankCtx discards its context.Context parameter \(blank\)`
+	return n + 1
+}
+
+// UnnamedSpan cannot forward what it cannot name.
+func UnnamedSpan(*obs.Span, int) {} // want `exported UnnamedSpan discards its \*obs.Span parameter \(unnamed\)`
+
+// DropsSpan takes a span and ignores it.
+func DropsSpan(sp *obs.Span, n int) int { // want `exported DropsSpan never uses its \*obs.Span parameter "sp"`
+	return n
+}
+
+// MintsContext detaches itself from the caller's deadline.
+func MintsContext(n int) int {
+	ctx := context.Background() // want `minting a fresh context in compute code`
+	return ThreadsCtx(ctx, n)
+}
+
+// mintsTODO: unexported functions must not mint either.
+func mintsTODO() context.Context {
+	return context.TODO() // want `minting a fresh context in compute code`
+}
+
+// ThreadsCtx forwards its context: conforming.
+func ThreadsCtx(ctx context.Context, n int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+	}
+	return n * 2
+}
+
+// ThreadsSpan records on its span: conforming.
+func ThreadsSpan(sp *obs.Span, n int) int {
+	child := sp.Child(1, "work")
+	defer child.End()
+	return n * 3
+}
+
+// NoPlumbing has nothing to thread: conforming.
+func NoPlumbing(n int) int { return n }
+
+// dropsCtxUnexported: unexported functions may hold a ctx they do not
+// use yet (helpers mid-refactor); only exported entry points are the
+// contract surface.
+func dropsCtxUnexported(ctx context.Context, n int) int {
+	return n
+}

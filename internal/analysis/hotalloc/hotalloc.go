@@ -11,6 +11,12 @@
 //     interface, which allocates unless the escape analysis gets
 //     lucky.
 //
+// Cold paths are exempt: an if/else/case block that ends in return or
+// panic executes at most once per call — its allocations are not
+// steady-state, so error-construction there (the classic
+// fmt.Errorf-and-bail) needs no suppression. A loop nested inside such
+// a block re-heats it: allocations in that inner loop are flagged.
+//
 // The kernel's benchmarks pin steady-state allocations at zero; this
 // analyzer turns that benchmark's contract into a compile-time check
 // for the paths that carry the marker.
@@ -58,7 +64,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 	// visibly preallocated via make with an explicit size in this
 	// function (make with 2+ args: either a capacity, or a length the
 	// code then grows from — both count as a considered choice).
-	var loops []span
+	var loops, colds []span
 	prealloc := map[types.Object]bool{}
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
@@ -66,6 +72,17 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 			loops = append(loops, span{n.Body.Pos(), n.Body.End()})
 		case *ast.RangeStmt:
 			loops = append(loops, span{n.Body.Pos(), n.Body.End()})
+		case *ast.IfStmt:
+			if terminates(n.Body.List) {
+				colds = append(colds, span{n.Body.Pos(), n.Body.End()})
+			}
+			if b, ok := n.Else.(*ast.BlockStmt); ok && terminates(b.List) {
+				colds = append(colds, span{b.Pos(), b.End()})
+			}
+		case *ast.CaseClause:
+			if terminates(n.Body) {
+				colds = append(colds, span{n.Body[0].Pos(), n.Body[len(n.Body)-1].End()})
+			}
 		case *ast.AssignStmt:
 			for i, rhs := range n.Rhs {
 				if i >= len(n.Lhs) {
@@ -87,13 +104,36 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		}
 		return true
 	})
-	inLoop := func(p token.Pos) bool {
+	// hot reports whether p sits on a steady-state path: inside a loop
+	// body, and not inside a cold (terminating) block — unless a loop
+	// nested within that cold block re-heats it.
+	hot := func(p token.Pos) bool {
+		inLoop := false
 		for _, s := range loops {
 			if s.contains(p) {
-				return true
+				inLoop = true
+				break
 			}
 		}
-		return false
+		if !inLoop {
+			return false
+		}
+		for _, c := range colds {
+			if !c.contains(p) {
+				continue
+			}
+			reheated := false
+			for _, l := range loops {
+				if l.lo >= c.lo && l.hi <= c.hi && l.contains(p) {
+					reheated = true
+					break
+				}
+			}
+			if !reheated {
+				return false
+			}
+		}
+		return true
 	}
 
 	// Second pass: flag allocation shapes whose position falls inside
@@ -101,7 +141,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.FuncLit:
-			if inLoop(n.Pos()) {
+			if hot(n.Pos()) {
 				pass.Reportf(n.Pos(), "closure literal inside a hot loop — its captures escape to the heap every iteration; hoist it out of the loop")
 			}
 		case *ast.AssignStmt:
@@ -110,7 +150,7 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 					break
 				}
 				call, ok := analysis.Unparen(rhs).(*ast.CallExpr)
-				if !ok || !inLoop(call.Pos()) {
+				if !ok || !hot(call.Pos()) {
 					continue
 				}
 				if name, ok := analysis.BuiltinName(pass.Info, call); !ok || name != "append" {
@@ -126,13 +166,33 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 				}
 			}
 		case *ast.CallExpr:
-			if !inLoop(n.Pos()) {
+			if !hot(n.Pos()) {
 				return true
 			}
 			checkBoxing(pass, n)
 		}
 		return true
 	})
+}
+
+// terminates reports whether a statement list ends by leaving the
+// function: a return, or a call to panic. Such a block runs at most
+// once per call, so per-iteration allocation cost does not apply.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := analysis.Unparen(last.X).(*ast.CallExpr); ok {
+			if id, ok := analysis.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // checkBoxing flags arguments boxed into interface parameters and

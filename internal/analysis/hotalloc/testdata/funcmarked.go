@@ -67,6 +67,70 @@ func coldGrow(xs []int) []int {
 	return out
 }
 
+// coldErrorPath boxes into fmt.Errorf-style variadics only on a
+// terminating branch — at most once per call, so it conforms without
+// any suppression.
+//
+//detlint:hotpath
+func coldErrorPath(xs []int) (int, error) {
+	total := 0
+	for _, x := range xs {
+		if x < 0 {
+			return 0, newError("negative", x)
+		}
+		total += x
+	}
+	return total, nil
+}
+
+func newError(msg string, vs ...any) error { return nil }
+
+// coldPanicPath: a panic-terminated branch is cold too.
+//
+//detlint:hotpath
+func coldPanicPath(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		if x < 0 {
+			sink(x)
+			panic("negative")
+		}
+		total += x
+	}
+	return total
+}
+
+// reheatedColdPath: a loop nested inside a terminating branch runs
+// per-iteration again, so its allocations are back on the hook.
+//
+//detlint:hotpath
+func reheatedColdPath(xs []int) []int {
+	for _, x := range xs {
+		if x < 0 {
+			var bad []int
+			for _, y := range xs {
+				if y < 0 {
+					bad = append(bad, y) // want `append to "bad" inside a hot loop with no visible preallocation`
+				}
+			}
+			return bad
+		}
+	}
+	return nil
+}
+
+// coldNonTerminating: a branch that falls through keeps iterating, so
+// its boxing still counts.
+//
+//detlint:hotpath
+func coldNonTerminating(xs []int) {
+	for _, x := range xs {
+		if x < 0 {
+			sink(x) // want `argument boxes into interface parameter`
+		}
+	}
+}
+
 // hotSuppressed demonstrates the lint:ignore path.
 //
 //detlint:hotpath

@@ -24,6 +24,13 @@ type Package struct {
 	Files   []*ast.File // non-test files, parsed with comments
 	Types   *types.Package
 	Info    *types.Info
+	// Generated marks filenames carrying a "// Code generated … DO NOT
+	// EDIT." header. They still parse and type-check (the package may
+	// not compile without them) but Pass.Reportf drops findings
+	// positioned inside them.
+	Generated map[string]bool
+
+	effects *EffectInfo // lazily built by Effects()
 }
 
 // listedPkg is the subset of `go list -json` output the loader needs.
@@ -71,6 +78,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 	}
 	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+	// Overlapping patterns ("./... ./internal/...") list a package once
+	// per match; analyzing a root twice would double every finding.
+	roots = dedupRoots(roots)
 
 	fset := token.NewFileSet()
 	lookup := func(path string) (io.ReadCloser, error) {
@@ -85,11 +95,19 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	var out []*Package
 	for _, p := range roots {
 		files := make([]*ast.File, 0, len(p.GoFiles))
+		generated := map[string]bool{}
 		for _, name := range p.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil,
+			path := filepath.Join(p.Dir, name)
+			f, err := parser.ParseFile(fset, path, nil,
 				parser.ParseComments|parser.SkipObjectResolution)
 			if err != nil {
 				return nil, fmt.Errorf("parsing %s: %v", name, err)
+			}
+			// Generated files still type-check (the package may need
+			// their declarations) but are exempt from findings — the
+			// conventions detlint enforces are hand-maintenance rules.
+			if ast.IsGenerated(f) {
+				generated[path] = true
 			}
 			files = append(files, f)
 		}
@@ -107,13 +125,26 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
 		}
 		out = append(out, &Package{
-			PkgPath: p.ImportPath,
-			Dir:     p.Dir,
-			Fset:    fset,
-			Files:   files,
-			Types:   tpkg,
-			Info:    info,
+			PkgPath:   p.ImportPath,
+			Dir:       p.Dir,
+			Fset:      fset,
+			Files:     files,
+			Types:     tpkg,
+			Info:      info,
+			Generated: generated,
 		})
 	}
 	return out, nil
+}
+
+// dedupRoots drops repeated ImportPaths from an already-sorted root
+// list, keeping the first occurrence.
+func dedupRoots(roots []listedPkg) []listedPkg {
+	out := roots[:0]
+	for i, p := range roots {
+		if i == 0 || p.ImportPath != roots[i-1].ImportPath {
+			out = append(out, p)
+		}
+	}
+	return out
 }

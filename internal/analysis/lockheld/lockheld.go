@@ -1,0 +1,138 @@
+// Package lockheld forbids effectful calls inside mutex critical
+// sections. A region opens at a sync.Mutex/RWMutex Lock/RLock
+// statement and closes at the matching Unlock/RUnlock in the same
+// statement list (or at the list's end when the unlock is deferred).
+// Inside the region, two effect classes are violations:
+//
+//   - blocking — IO, channel operations, sleeps, waits: the holder
+//     stalls every goroutine queued on the mutex, turning a local wait
+//     into a convoy;
+//   - lock acquisition — taking another lock (including transitively,
+//     e.g. obs span recording, which contends on the trace and
+//     reservoir mutexes) while one is held is the classic ordering
+//     deadlock shape.
+//
+// The check is flow-aware: it asks the package's effect inference
+// (Pass.Effects) what each statement in the region may do, so a
+// helper that ultimately calls fmt.Println or mu.Lock is caught
+// through any depth of same-package calls, and a provably pure helper
+// passes without annotation. Deferred sites are exempt: defers run at
+// function return under LIFO scheduling, which a list-ordered region
+// check cannot place precisely, and flagging them would false-positive
+// the pervasive defer-span-End idiom.
+package lockheld
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the lockheld pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockheld",
+	Doc:  "forbids blocking and lock-acquiring effects while a sync mutex is held",
+	Run:  run,
+}
+
+// unlockFor maps a region-opening lock call to the method name that
+// closes its region.
+var unlockFor = map[string]string{
+	"(*sync.Mutex).Lock":    "Unlock",
+	"(*sync.RWMutex).Lock":  "Unlock",
+	"(*sync.RWMutex).RLock": "RUnlock",
+}
+
+func run(pass *analysis.Pass) error {
+	ei := pass.Effects()
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkList(pass, ei, n.List)
+			case *ast.CaseClause:
+				checkList(pass, ei, n.Body)
+			case *ast.CommClause:
+				checkList(pass, ei, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkList scans one statement list for lock regions and flags
+// effectful sites inside them.
+func checkList(pass *analysis.Pass, ei *analysis.EffectInfo, list []ast.Stmt) {
+	for i, stmt := range list {
+		recv, unlock, ok := lockStmt(pass.Info, stmt)
+		if !ok {
+			continue
+		}
+		// The region runs to the matching direct unlock; a deferred
+		// unlock holds the lock for the rest of the list.
+		end := len(list)
+		for j := i + 1; j < len(list); j++ {
+			if isUnlockStmt(pass.Info, list[j], recv, unlock) {
+				end = j
+				break
+			}
+		}
+		for j := i + 1; j < end; j++ {
+			for _, site := range ei.Sites(list[j]) {
+				if site.Deferred {
+					continue
+				}
+				switch {
+				case site.Effects.Has(analysis.EffectBlocks):
+					pass.Reportf(site.Pos, "%s may block while %s is held — waiters convoy behind the critical section; move it after the unlock", site.What, recv)
+				case site.Effects.Has(analysis.EffectLocks):
+					pass.Reportf(site.Pos, "%s acquires a lock while %s is held — nested acquisition risks ordering deadlock; collect under the lock, act after release", site.What, recv)
+				}
+			}
+		}
+	}
+}
+
+// lockStmt matches a region-opening statement `recv.Lock()` /
+// `recv.RLock()`, returning the receiver's source text and the method
+// name that will close the region.
+func lockStmt(info *types.Info, stmt ast.Stmt) (recv, unlock string, ok bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return "", "", false
+	}
+	call, ok := analysis.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return "", "", false
+	}
+	unlock, ok = unlockFor[analysis.FuncName(analysis.Callee(info, call))]
+	if !ok {
+		return "", "", false
+	}
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), unlock, true
+}
+
+// isUnlockStmt matches the direct statement `recv.<unlock>()` closing
+// a region. Deferred unlocks deliberately do not match: the lock stays
+// held through the remainder of the list.
+func isUnlockStmt(info *types.Info, stmt ast.Stmt, recv, unlock string) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := analysis.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != unlock {
+		return false
+	}
+	return types.ExprString(sel.X) == recv
+}

@@ -1,0 +1,108 @@
+// Package fixture exercises lockheld: effectful calls inside mutex
+// critical sections, caught through the package effect inference.
+package fixture
+
+import (
+	"fmt"
+	"sync"
+
+	"fixture/obs"
+)
+
+type store struct {
+	mu      sync.Mutex
+	rw      sync.RWMutex
+	items   map[string]int
+	onEvict func(string)
+	sp      *obs.Span
+}
+
+// logUnderLock does IO directly inside the critical section.
+func (s *store) logUnderLock(k string) {
+	s.mu.Lock()
+	fmt.Println(k) // want `call to fmt.Println may block while s.mu is held`
+	s.mu.Unlock()
+}
+
+// helperUnderLock blocks transitively: the effect is inferred through
+// the same-package helper, not pattern-matched at the call site.
+func (s *store) helperUnderLock(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	audit(k) // want `call to fixture.audit may block while s.mu is held`
+}
+
+func audit(k string) { fmt.Println("audit", k) }
+
+// recordUnderLock records a span inside the critical section — span
+// recording contends on the trace mutex, the nested-acquisition shape.
+func (s *store) recordUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sp := s.sp.StartStage(obs.Stage(1)) // want `call to \(\*obs.Span\).StartStage acquires a lock while s.mu is held`
+	sp.End()                            // want `call to \(\*obs.Span\).End acquires a lock while s.mu is held`
+}
+
+// nestedLock acquires a second mutex while the first is held.
+func (s *store) nestedLock() {
+	s.mu.Lock()
+	s.rw.Lock() // want `call to \(\*sync.RWMutex\).Lock acquires a lock while s.mu is held`
+	s.rw.Unlock()
+	s.mu.Unlock()
+}
+
+// pureUnderLock: map mutation under the lock is the point of the lock.
+func (s *store) pureUnderLock(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[k] = v
+}
+
+// evictAfterUnlock: collect under the lock, act after release — the
+// sanctioned shape for effectful callbacks.
+func (s *store) evictAfterUnlock(k string) {
+	s.mu.Lock()
+	cb := s.onEvict
+	delete(s.items, k)
+	s.mu.Unlock()
+	cb(k)
+}
+
+// ioAfterUnlock: the region closes at the direct unlock; what follows
+// is free.
+func (s *store) ioAfterUnlock(k string) {
+	s.mu.Lock()
+	v := s.items[k]
+	s.mu.Unlock()
+	fmt.Println(v)
+}
+
+// tryNotify: a select with a default never blocks, so it is fine
+// under the lock.
+func (s *store) tryNotify(ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+	s.items["notified"]++
+}
+
+// deferredUnderLock: deferred sites are exempt — defer scheduling is
+// LIFO and out of scope for a list-ordered region check.
+func (s *store) deferredUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.sp.End()
+	s.items["k"] = 1
+}
+
+// readUnderRLock: RLock/RUnlock delimit a region too.
+func (s *store) readUnderRLock(k string) int {
+	s.rw.RLock()
+	fmt.Println(k) // want `call to fmt.Println may block while s.rw is held`
+	v := s.items[k]
+	s.rw.RUnlock()
+	return v
+}

@@ -1,0 +1,175 @@
+// Package shapepass enforces the cost-model sampling contract: a span
+// started on a stage that has a calibrated closed form
+// (costmodel.FormFor) must record its workload shape via SetShape
+// before it ends — an unshaped sample is a hole in the reservoir the
+// least-squares fit silently ignores, so the stage's predictions decay
+// without any visible error.
+//
+// The check is a forward must-pass over the statement list that
+// creates the span: a direct `v.SetShape(...)` statement shapes the
+// span, and a compound statement (if/loop/switch) containing one
+// shapes it too — the guarded `if err == nil { v.SetShape(...) }`
+// idiom is legitimate because error paths end unshaped by design (the
+// measurement is meaningless when the work failed), so the analyzer
+// accepts any conditional SetShape rather than second-guess control
+// flow it cannot prove. At a direct `v.End()` the span must be
+// shaped; with `defer v.End()` it must be shaped by the end of the
+// list. What remains flagged is the real defect: a form-bearing span
+// with no SetShape reachable at all.
+//
+// Stage arguments must be constants for the form lookup; a span
+// started on a non-constant stage is skipped (the call sites the
+// invariant targets all name their stage literally).
+package shapepass
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+	"repro/internal/costmodel"
+	"repro/internal/obs"
+)
+
+// Analyzer is the shapepass pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "shapepass",
+	Doc:  "spans on stages with a cost-model closed form must SetShape before End",
+	Run:  run,
+}
+
+// spanStarters are the span constructors whose first argument is the
+// stage.
+var spanStarters = map[string]bool{
+	"(*obs.Span).StartStage": true,
+	"(*obs.Span).Child":      true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkList(pass, n.List)
+			case *ast.CaseClause:
+				checkList(pass, n.Body)
+			case *ast.CommClause:
+				checkList(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkList finds span creations in one statement list and runs the
+// must-pass over the statements that follow each.
+func checkList(pass *analysis.Pass, list []ast.Stmt) {
+	for i, stmt := range list {
+		obj, stage, ok := spanCreate(pass, stmt)
+		if !ok {
+			continue
+		}
+		shaped := false
+		deferEnd := token.NoPos
+	scan:
+		for j := i + 1; j < len(list); j++ {
+			switch s := list[j].(type) {
+			case *ast.ExprStmt:
+				switch {
+				case isMethodCall(pass.Info, s.X, obj, "SetShape"):
+					shaped = true
+				case isMethodCall(pass.Info, s.X, obj, "End"):
+					if !shaped {
+						pass.Reportf(s.Pos(), "span on %s ends unshaped — the stage has a calibrated closed form and this sample never reaches the cost-model reservoir; call SetShape before End", stage)
+					}
+					break scan
+				}
+			case *ast.DeferStmt:
+				if isMethodCall(pass.Info, s.Call, obj, "End") {
+					deferEnd = s.Pos()
+				}
+			default:
+				// Compound statements: a SetShape anywhere inside
+				// (typically the err-nil guard idiom) satisfies the
+				// success path.
+				if containsSetShape(pass.Info, list[j], obj) {
+					shaped = true
+				}
+			}
+		}
+		if deferEnd != token.NoPos && !shaped {
+			pass.Reportf(deferEnd, "span on %s is deferred-ended but never shaped — the stage has a calibrated closed form and the sample never reaches the cost-model reservoir; call SetShape on the success path", stage)
+		}
+	}
+}
+
+// spanCreate matches `v := X.StartStage(stageConst)` / `v :=
+// X.Child(stageConst, name)` where the constant stage has a closed
+// form, returning v's object and the stage argument's source text.
+func spanCreate(pass *analysis.Pass, stmt ast.Stmt) (types.Object, string, bool) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, "", false
+	}
+	id, ok := analysis.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, "", false
+	}
+	call, ok := analysis.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, "", false
+	}
+	if !spanStarters[analysis.FuncName(analysis.Callee(pass.Info, call))] {
+		return nil, "", false
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil {
+		return nil, "", false
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	if !ok {
+		return nil, "", false
+	}
+	if _, hasForm := costmodel.FormFor(obs.Stage(v)); !hasForm {
+		return nil, "", false
+	}
+	obj := pass.Info.ObjectOf(id)
+	if obj == nil {
+		return nil, "", false
+	}
+	return obj, types.ExprString(call.Args[0]), true
+}
+
+// isMethodCall reports whether expr is `obj.<name>(...)`.
+func isMethodCall(info *types.Info, expr ast.Expr, obj types.Object, name string) bool {
+	call, ok := analysis.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := analysis.Unparen(sel.X).(*ast.Ident)
+	return ok && info.ObjectOf(id) == obj
+}
+
+// containsSetShape reports whether the subtree calls obj.SetShape
+// anywhere.
+func containsSetShape(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := node.(*ast.CallExpr); ok && isMethodCall(info, call, obj, "SetShape") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package shapepass_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/shapepass"
+)
+
+func TestShapepass(t *testing.T) {
+	analysistest.Run(t, "testdata", shapepass.Analyzer)
+}

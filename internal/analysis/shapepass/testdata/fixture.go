@@ -1,0 +1,77 @@
+// Package fixture exercises shapepass: spans on form-bearing stages
+// must SetShape before they end.
+package fixture
+
+import (
+	"errors"
+
+	"fixture/obs"
+)
+
+var errBoom = errors.New("boom")
+
+// unshapedEnd ends a form-bearing span without ever recording shape.
+func unshapedEnd(root *obs.Span, rows int) {
+	sp := root.StartStage(obs.StageMondrian)
+	work(rows)
+	sp.End() // want `span on obs.StageMondrian ends unshaped`
+}
+
+// unshapedDeferEnd: same defect through the defer idiom.
+func unshapedDeferEnd(root *obs.Span, rows int) {
+	sp := root.Child(obs.StageEngineBuild, "build")
+	defer sp.End() // want `span on obs.StageEngineBuild is deferred-ended but never shaped`
+	work(rows)
+}
+
+// shapedEnd records shape unconditionally: conforming.
+func shapedEnd(root *obs.Span, rows int) {
+	sp := root.StartStage(obs.StageMondrian)
+	work(rows)
+	sp.SetShape(obs.Shape{Rows: rows})
+	sp.End()
+}
+
+// shapedOnSuccess uses the err-nil guard idiom: the error path ends
+// unshaped by design, and that conforms.
+func shapedOnSuccess(root *obs.Span, rows int) error {
+	sp := root.StartStage(obs.StageDatasetDecode)
+	err := mayFail(rows)
+	if err == nil {
+		sp.SetShape(obs.Shape{Rows: rows})
+	}
+	sp.End()
+	return err
+}
+
+// shapedBeforeDeferEnd: defer End with a later SetShape conforms.
+func shapedBeforeDeferEnd(root *obs.Span, rows int) {
+	sp := root.StartStage(obs.StageDatasetSynth)
+	defer sp.End()
+	work(rows)
+	sp.SetShape(obs.Shape{Rows: rows})
+}
+
+// structuralSpan: StageNone has no closed form, so no shape is owed.
+func structuralSpan(root *obs.Span) {
+	sp := root.Child(obs.StageNone, "request")
+	defer sp.End()
+	work(1)
+}
+
+// dynamicStage: a non-constant stage cannot be checked against the
+// form table; the analyzer skips it rather than guess.
+func dynamicStage(root *obs.Span, st obs.Stage) {
+	sp := root.StartStage(st)
+	defer sp.End()
+	work(1)
+}
+
+func work(n int) int { return n * n }
+
+func mayFail(n int) error {
+	if n < 0 {
+		return errBoom
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+// Package obs is a mock of the repo's observability package: the
+// analyzer keys span constructors by package NAME and resolves stage
+// constants by VALUE, so these mirror the real declarations.
+package obs
+
+// Stage mirrors obs.Stage; the constant values line up with the real
+// enum so costmodel.FormFor sees the same form-bearing stages.
+type Stage int
+
+const (
+	StageNone Stage = iota
+	StageDatasetSynth
+	StageDatasetDecode
+	StageEngineBuild
+	StageMondrian
+)
+
+// Shape mirrors obs.Shape.
+type Shape struct{ Rows, Dims int }
+
+// Span mirrors the real span's recording surface.
+type Span struct{ stage Stage }
+
+func (s *Span) StartStage(stage Stage) *Span { return &Span{stage: stage} }
+func (s *Span) Child(stage Stage, name string) *Span {
+	return &Span{stage: stage}
+}
+func (s *Span) SetShape(sh Shape) {}
+func (s *Span) End()              {}

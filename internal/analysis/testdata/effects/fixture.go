@@ -1,0 +1,103 @@
+// Fixture for the effect-inference table tests: each function pins one
+// inference behavior (see effects_test.go for the expected sets).
+package fixture
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+)
+
+// pure: arithmetic only — the lattice bottom.
+func pure(a, b int) int { return a*b + a }
+
+// doesIO: fmt.Println is tabled as blocking IO (plus its argument
+// slice allocation).
+func doesIO() { fmt.Println("hello") }
+
+// allocates: make is an allocation, nothing else.
+func allocates(n int) []int { return make([]int, n) }
+
+// viaHelper: transitive — calling doesIO through one level makes the
+// caller blocking too.
+func viaHelper() { doesIO() }
+
+// viaTwoHelpers: two levels deep, same answer.
+func viaTwoHelpers() { viaHelper() }
+
+// unknownCallee: regexp is not in the intrinsics table, so the call
+// widens to every effect.
+func unknownCallee() { regexp.MustCompile("x+") }
+
+// funcValue: calls through a function value widen to every effect.
+func funcValue(f func()) { f() }
+
+// cycleA/cycleB: mutual recursion with IO on one side — the fixpoint
+// must converge and both sides must end up blocking.
+func cycleA(n int) {
+	if n > 0 {
+		cycleB(n - 1)
+	}
+}
+
+func cycleB(n int) {
+	if n > 0 {
+		cycleA(n - 1)
+	}
+	fmt.Println(n)
+}
+
+// pureCycle: mutual recursion with no effects stays pure — widening
+// must not leak in through the back edge.
+func pureCycle(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return pureCycleB(n - 1)
+}
+
+func pureCycleB(n int) int { return pureCycle(n - 1) }
+
+// locks: acquiring a mutex is the lock effect; the deferred unlock is
+// effect-free.
+func locks(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// spawns: a go statement is the goroutine effect — the spawned body's
+// blocking does not block the caller.
+func spawns() { go doesIO() }
+
+// blocksOnChan: channel receive blocks.
+func blocksOnChan(ch chan int) int { return <-ch }
+
+// nonBlockingSelect: a select with a default never blocks, even with a
+// send among its cases.
+func nonBlockingSelect(ch chan int) {
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+// readsClock: time.Now is the nondeterminism effect.
+func readsClock() time.Duration { return time.Since(time.Now()) }
+
+// sortsWithClosure: sort.Slice is a known call-through intrinsic —
+// the effects are the comparator literal's (pure) plus the scaffold
+// allocation, not the widened top.
+func sortsWithClosure(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// sortsWithIO: the same call-through with a blocking comparator picks
+// the blocking effect up from the literal's body.
+func sortsWithIO(xs []int) {
+	sort.Slice(xs, func(i, j int) bool {
+		fmt.Println(i)
+		return xs[i] < xs[j]
+	})
+}

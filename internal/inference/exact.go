@@ -77,7 +77,6 @@ func ExactPosteriors(priors []prob.Dist, counts []int) ([]prob.Dist, error) {
 		radix[i] = states
 		states *= ni + 1
 		if states > MaxExactStates {
-			//lint:ignore hotalloc error path — boxes once and returns, never in steady state
 			return nil, fmt.Errorf("%w: %d tuples, %d distinct values", ErrTooLarge, k, r)
 		}
 	}
@@ -209,7 +208,6 @@ func GroupLikelihood(priors []prob.Dist, counts []int) (float64, error) {
 		radix[i] = states
 		states *= ni + 1
 		if states > MaxExactStates {
-			//lint:ignore hotalloc error path — boxes once and returns, never in steady state
 			return 0, fmt.Errorf("%w: %d tuples, %d distinct values", ErrTooLarge, k, r)
 		}
 	}

@@ -89,13 +89,17 @@ func (s *lruStore[V]) get(key string) (V, bool) {
 }
 
 // put inserts (or refreshes) key, evicting the least recently used
-// entry when over capacity.
+// entries when over capacity. The eviction callback is caller-supplied
+// code of unknown cost, so evicted keys are collected under the lock
+// and the callback runs after release — a callback that blocked (or
+// re-entered the store) while s.mu was held would convoy every reader.
 func (s *lruStore[V]) put(key string, val V) {
+	var evicted []string
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if el, ok := s.items[key]; ok {
 		el.Value.(*lruItem[V]).val = val
 		s.ll.MoveToFront(el)
+		s.mu.Unlock()
 		return
 	}
 	s.items[key] = s.ll.PushFront(&lruItem[V]{key: key, val: val})
@@ -104,8 +108,12 @@ func (s *lruStore[V]) put(key string, val V) {
 		it := el.Value.(*lruItem[V])
 		s.ll.Remove(el)
 		delete(s.items, it.key)
-		if s.onEvict != nil {
-			s.onEvict(it.key)
+		evicted = append(evicted, it.key)
+	}
+	s.mu.Unlock()
+	if s.onEvict != nil {
+		for _, k := range evicted {
+			s.onEvict(k)
 		}
 	}
 }
