@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -476,3 +477,92 @@ func BenchmarkMondrian(b *testing.B) { benchMondrian(b, -1) }
 
 // BenchmarkMondrianParallel partitions subtrees on all cores.
 func BenchmarkMondrianParallel(b *testing.B) { benchMondrian(b, 0) }
+
+// benchPriorsLanes isolates the lane-shaped single-bandwidth pass at
+// the BenchmarkBreachTest shape — n=2000, b'=0.4, sequential — which
+// is the prior pass a breach-test attack triggers cold. ns/op here is
+// the direct kernel-level measure of the lane restructuring
+// (BenchmarkBreachTest itself warms priors before its timer, so the
+// kernel cost only shows up in this benchmark).
+func benchPriorsLanes(b *testing.B, precision kernel.Precision) {
+	table := adult.Generate(2000, 42)
+	est, err := kernel.NewEstimator(table, adult.Hierarchies(), kernel.Epanechnikov{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	est.Workers = -1
+	est.Precision = precision
+	bvec := kernel.UniformBandwidth(table.Schema.D(), 0.4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.ProfilePriors(bvec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPriorsLanesF64 is the default bit-exact float64 lane pass.
+func BenchmarkPriorsLanesF64(b *testing.B) { benchPriorsLanes(b, kernel.F64) }
+
+// BenchmarkPriorsLanesF32 is the opt-in float32 lane accumulation
+// (float64 reductions) — the -kernel-f32 serving configuration.
+func BenchmarkPriorsLanesF32(b *testing.B) { benchPriorsLanes(b, kernel.F32) }
+
+// BenchmarkPriorsCSR demonstrates the sparse crossover: at b'=0.05 the
+// measured pair density falls below the CSR gate and the streaming
+// CSR layout beats the same pass forced through the lane/candidate
+// layout (sparse vs sparse-no-csr); at b'=0.5 the gate correctly stays
+// off (dense). Each sub-benchmark warms one pass before the timer so
+// CSR variants measure the steady-state stream, not the one-off build.
+func BenchmarkPriorsCSR(b *testing.B) {
+	run := func(name string, bw float64, disable bool) {
+		b.Run(name, func(b *testing.B) {
+			table := adult.Generate(2000, 42)
+			est, err := kernel.NewEstimator(table, adult.Hierarchies(), kernel.Epanechnikov{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			est.Workers = -1
+			est.DisableCSR = disable
+			bvec := kernel.UniformBandwidth(table.Schema.D(), bw)
+			if _, err := est.ProfilePriors(bvec); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.ProfilePriors(bvec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	run("sparse", 0.05, false)
+	run("sparse-no-csr", 0.05, true)
+	run("dense", 0.5, false)
+}
+
+// BenchmarkAttackAdaptive measures a full attack pass under the
+// request-selectable adaptive method — exact posteriors below the
+// state bound, Ω above — on warmed priors, mirroring what a
+// {"inference": "adaptive"} attack costs the server at steady state
+// next to BenchmarkFig1aAttack's Ω default.
+func BenchmarkAttackAdaptive(b *testing.B) {
+	e := benchEngineWorkers(b, 1000, -1)
+	p := core.Table5()[0]
+	res, err := e.AnonymizeModel(core.BTPrivacy, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bvec := kernel.UniformBandwidth(e.Table.Schema.D(), 0.4)
+	if _, err := e.Priors(bvec); err != nil {
+		b.Fatal(err)
+	}
+	breach := e.BreachTest(core.BTPrivacy, p)
+	method := inference.Adaptive{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.AttackWith(context.Background(), method, res, bvec, p.T, breach); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -11,7 +11,7 @@
 //
 //	loadgen [-addr http://127.0.0.1:8080] [-concurrency C] [-duration D]
 //	        [-n N] [-seed S] [-mix anonymize:1,attack:4,risk:2] [-models distinct,bt]
-//	        [-schema spec.json] [-async] [-sweep]
+//	        [-schema spec.json] [-async] [-sweep] [-inference omega,adaptive]
 //
 // -schema registers the given declarative spec over POST /v1/schemas,
 // ingests a second dataset under it, and warms its releases alongside
@@ -23,6 +23,14 @@
 // in one amortized pass (one fused kernel sweep instead of one prior
 // pass per bandwidth); the report's sweeps line shows the achieved
 // points-per-request amortization.
+//
+// -inference mixes posterior-inference method overrides into the
+// attack and risk scenarios: each request draws one entry from the
+// comma-separated list ("omega" — or empty — sends no override) and
+// the report keys latency rows per method, e.g. attack(adaptive) next
+// to plain attack. Because the server's attack caches are method-keyed,
+// this drives mixed-method traffic against the same releases without
+// cross-pollination — the separation the service tests pin.
 //
 // -async switches the anonymize scenario to the job API: each request
 // submits with "async": true, takes the 202 + job handle, and polls
@@ -149,6 +157,7 @@ func main() {
 	schemaPath := cli.Schema("JSON dataset spec to register and mix into the workload")
 	asyncMode := flag.Bool("async", false, "submit anonymize requests as async jobs and poll to completion")
 	sweepMode := flag.Bool("sweep", false, "send the whole b' grid per attack/risk request (bprimes sweep form)")
+	inferenceSpec := flag.String("inference", "", "comma-separated inference methods to mix into attack/risk requests (omega|exact|adaptive; empty = server default)")
 	flag.Parse()
 
 	mix, err := parseMix(*mixSpec)
@@ -156,6 +165,10 @@ func main() {
 		cli.Fatal("loadgen", err)
 	}
 	models := strings.Split(*modelsSpec, ",")
+	inferences, err := parseInferences(*inferenceSpec)
+	if err != nil {
+		cli.Fatal("loadgen", err)
+	}
 
 	c := &client{
 		base: strings.TrimRight(*addr, "/"),
@@ -232,12 +245,12 @@ func main() {
 	// bprimes form, so one request amortizes len(bprimes) evaluations
 	// over a single fused kernel pass (the server's sweeps ledger
 	// reports the achieved points/request).
-	sweepBody := func(rel string) string {
+	sweepBody := func(rel, inf string) string {
 		parts := make([]string, len(bprimes))
 		for i, bp := range bprimes {
 			parts[i] = strconv.FormatFloat(bp, 'g', -1, 64)
 		}
-		return fmt.Sprintf(`{"release":%q,"bprimes":[%s]}`, rel, strings.Join(parts, ","))
+		return fmt.Sprintf(`{"release":%q,"bprimes":[%s]%s}`, rel, strings.Join(parts, ","), inferenceField(inf))
 	}
 	deadline := time.Now().Add(*duration)
 	samplesPerWorker := make([][]sample, *concurrency)
@@ -249,6 +262,7 @@ func main() {
 		for time.Now().Before(deadline) {
 			op := pick(rng, mix)
 			rel := releases[rng.Intn(len(releases))]
+			label := op
 			var err error
 			t0 := time.Now()
 			switch op {
@@ -259,14 +273,25 @@ func main() {
 					_, err = c.postJSON("/v1/anonymize", rel.body, nil)
 				}
 			case "attack", "risk":
+				// Draw a method override per request so the mix drives
+				// the server's method-keyed attack caches; the sample
+				// label carries it for per-method latency rows.
+				inf := ""
+				if len(inferences) > 0 {
+					inf = inferences[rng.Intn(len(inferences))]
+				}
+				if inf != "" {
+					label = op + "(" + inf + ")"
+				}
 				if *sweepMode {
-					_, err = c.postJSON("/v1/"+op, sweepBody(rel.id), nil)
+					_, err = c.postJSON("/v1/"+op, sweepBody(rel.id, inf), nil)
 				} else {
 					bp := strconv.FormatFloat(bprimes[rng.Intn(len(bprimes))], 'g', -1, 64)
-					_, err = c.postJSON("/v1/"+op, fmt.Sprintf(`{"release":%q,"bprime":%s}`, rel.id, bp), nil)
+					_, err = c.postJSON("/v1/"+op,
+						fmt.Sprintf(`{"release":%q,"bprime":%s%s}`, rel.id, bp, inferenceField(inf)), nil)
 				}
 			}
-			out = append(out, sample{op: op, d: time.Since(t0), ok: err == nil})
+			out = append(out, sample{op: label, d: time.Since(t0), ok: err == nil})
 		}
 		samplesPerWorker[w] = out
 	})
@@ -276,6 +301,36 @@ func main() {
 	printServerMetrics(c)
 	after := fetchSnapshot(c)
 	printStageDeltas(stagesBefore, after.Stages, after.CostModel)
+}
+
+// parseInferences decodes the -inference list; "omega" canonicalizes
+// to the empty no-override form, so mixing "omega,adaptive" alternates
+// default-keyed and adaptive-keyed traffic.
+func parseInferences(spec string) ([]string, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, part := range strings.Split(spec, ",") {
+		m := strings.TrimSpace(part)
+		switch m {
+		case "omega":
+			m = ""
+		case "", "exact", "adaptive":
+		default:
+			return nil, fmt.Errorf("unknown inference %q (want omega|exact|adaptive)", part)
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// inferenceField renders the optional request-body override.
+func inferenceField(inf string) string {
+	if inf == "" {
+		return ""
+	}
+	return fmt.Sprintf(`,"inference":%q`, inf)
 }
 
 // parseMix decodes "name:weight,..." into scenarios.

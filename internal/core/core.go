@@ -275,12 +275,15 @@ func (e *Engine) priorsBatchSpan(sp *obs.Span, bvecs [][]float64) ([][]prob.Dist
 // Requirement builds the composed requirement (model ∧ K-anonymity)
 // for a parameter set, as the evaluation enforces (§V).
 func (e *Engine) Requirement(m Model, p Params) (privacy.Requirement, error) {
-	return e.requirementSpan(nil, m, p)
+	return e.requirementSpan(nil, nil, m, p)
 }
 
 // requirementSpan is Requirement with a recorder: the (B,t) model runs
-// a prior pass during construction, which the span attributes.
-func (e *Engine) requirementSpan(sp *obs.Span, m Model, p Params) (privacy.Requirement, error) {
+// a prior pass during construction, which the span attributes. method
+// overrides the engine's inference method inside (B,t) checks when
+// non-nil (nil everywhere except the serving layer's release-level
+// override).
+func (e *Engine) requirementSpan(sp *obs.Span, method inference.Method, m Model, p Params) (privacy.Requirement, error) {
 	var attr privacy.Requirement
 	switch m {
 	case DistinctLDiversity:
@@ -295,7 +298,7 @@ func (e *Engine) requirementSpan(sp *obs.Span, m Model, p Params) (privacy.Requi
 			M:     e.SensMatrix,
 		}
 	case BTPrivacy:
-		bt, err := e.btRequirementSpan(sp, p)
+		bt, err := e.btRequirementSpan(sp, method, p)
 		if err != nil {
 			return nil, err
 		}
@@ -312,13 +315,14 @@ func (e *Engine) requirementSpan(sp *obs.Span, m Model, p Params) (privacy.Requi
 // requested (B, t) that the binaries expose: {(0.2, t), (B, t),
 // (0.5, t+0.05)}, composed with K-anonymity.
 func (e *Engine) RequirementByName(name string, p Params) (privacy.Requirement, error) {
-	return e.requirementByNameSpan(nil, name, p)
+	return e.requirementByNameSpan(nil, nil, name, p)
 }
 
-// requirementByNameSpan is RequirementByName with a recorder.
-func (e *Engine) requirementByNameSpan(sp *obs.Span, name string, p Params) (privacy.Requirement, error) {
+// requirementByNameSpan is RequirementByName with a recorder and an
+// optional inference-method override for the (B,t) checks.
+func (e *Engine) requirementByNameSpan(sp *obs.Span, method inference.Method, name string, p Params) (privacy.Requirement, error) {
 	if name == "skyline" {
-		return e.skylineRequirementSpan(sp, p.K, []Params{
+		return e.skylineRequirementSpan(sp, method, p.K, []Params{
 			{B: 0.2, T: p.T},
 			{B: p.B, T: p.T},
 			{B: 0.5, T: p.T + 0.05},
@@ -328,16 +332,17 @@ func (e *Engine) requirementByNameSpan(sp *obs.Span, name string, p Params) (pri
 	if !ok {
 		return nil, fmt.Errorf("core: unknown model %q", name)
 	}
-	return e.requirementSpan(sp, m, p)
+	return e.requirementSpan(sp, method, m, p)
 }
 
 // BTRequirement builds the bare (B,t) requirement for a parameter set.
 func (e *Engine) BTRequirement(p Params) (privacy.BTPrivacy, error) {
-	return e.btRequirementSpan(nil, p)
+	return e.btRequirementSpan(nil, nil, p)
 }
 
-// btRequirementSpan is BTRequirement with a recorder for its prior pass.
-func (e *Engine) btRequirementSpan(sp *obs.Span, p Params) (privacy.BTPrivacy, error) {
+// btRequirementSpan is BTRequirement with a recorder for its prior
+// pass and an optional inference-method override.
+func (e *Engine) btRequirementSpan(sp *obs.Span, method inference.Method, p Params) (privacy.BTPrivacy, error) {
 	bvec := p.BVec
 	if bvec == nil {
 		bvec = kernel.UniformBandwidth(e.Table.Schema.D(), p.B)
@@ -351,7 +356,7 @@ func (e *Engine) btRequirementSpan(sp *obs.Span, p Params) (privacy.BTPrivacy, e
 		Table:   e.Table,
 		Priors:  priors,
 		Measure: e.Measure,
-		Method:  e.Method,
+		Method:  e.methodOr(method),
 		Label:   "B=" + kernel.BandwidthKey(bvec),
 	}, nil
 }
@@ -359,14 +364,14 @@ func (e *Engine) btRequirementSpan(sp *obs.Span, p Params) (privacy.BTPrivacy, e
 // SkylineRequirement builds the skyline (B,t) requirement for a set of
 // (B_i, t_i) pairs, composed with K-anonymity.
 func (e *Engine) SkylineRequirement(k int, entries []Params) (privacy.Requirement, error) {
-	return e.skylineRequirementSpan(nil, k, entries)
+	return e.skylineRequirementSpan(nil, nil, k, entries)
 }
 
 // skylineRequirementSpan is SkylineRequirement with a recorder.
-func (e *Engine) skylineRequirementSpan(sp *obs.Span, k int, entries []Params) (privacy.Requirement, error) {
+func (e *Engine) skylineRequirementSpan(sp *obs.Span, method inference.Method, k int, entries []Params) (privacy.Requirement, error) {
 	sky := privacy.Skyline{}
 	for _, p := range entries {
-		bt, err := e.btRequirementSpan(sp, p)
+		bt, err := e.btRequirementSpan(sp, method, p)
 		if err != nil {
 			return nil, err
 		}
@@ -404,7 +409,7 @@ func (e *Engine) AnonymizeModel(m Model, p Params) (*anonymize.Result, error) {
 // node (nil for the other algorithms). Anatomy enforces ℓ-diversity by
 // construction and uses only p.L.
 func (e *Engine) RunAlgorithm(algo, model string, p Params) (res *anonymize.Result, levels []int, err error) {
-	return e.runAlgorithm(nil, algo, model, p)
+	return e.runAlgorithm(nil, nil, algo, model, p)
 }
 
 // RunAlgorithmContext is RunAlgorithm under a traced request: the
@@ -413,11 +418,20 @@ func (e *Engine) RunAlgorithm(algo, model string, p Params) (res *anonymize.Resu
 // without a span — or a plain context.Background() — runs identically
 // with zero recording overhead.
 func (e *Engine) RunAlgorithmContext(ctx context.Context, algo, model string, p Params) (res *anonymize.Result, levels []int, err error) {
-	return e.runAlgorithm(obs.SpanFromContext(ctx), algo, model, p)
+	return e.runAlgorithm(obs.SpanFromContext(ctx), nil, algo, model, p)
 }
 
-// runAlgorithm is the span-threaded dispatch behind both entry points.
-func (e *Engine) runAlgorithm(sp *obs.Span, algo, model string, p Params) (res *anonymize.Result, levels []int, err error) {
+// RunAlgorithmWith is RunAlgorithmContext with a per-release inference
+// method for the (B,t) breach checks the pipeline runs (nil = engine
+// default). Exact is rejected at the request layer for releases —
+// Mondrian's initial group is the whole table, far past any exact
+// bound — so only Ω and adaptive reach here.
+func (e *Engine) RunAlgorithmWith(ctx context.Context, m inference.Method, algo, model string, p Params) (res *anonymize.Result, levels []int, err error) {
+	return e.runAlgorithm(obs.SpanFromContext(ctx), m, algo, model, p)
+}
+
+// runAlgorithm is the span-threaded dispatch behind the entry points.
+func (e *Engine) runAlgorithm(sp *obs.Span, method inference.Method, algo, model string, p Params) (res *anonymize.Result, levels []int, err error) {
 	switch algo {
 	case "anatomy":
 		asp := sp.StartStage(obs.StageAnatomy)
@@ -432,7 +446,7 @@ func (e *Engine) runAlgorithm(sp *obs.Span, algo, model string, p Params) (res *
 		if lerr != nil {
 			return nil, nil, lerr
 		}
-		req, rerr := e.requirementByNameSpan(sp, model, p)
+		req, rerr := e.requirementByNameSpan(sp, method, model, p)
 		if rerr != nil {
 			return nil, nil, rerr
 		}
@@ -445,7 +459,7 @@ func (e *Engine) runAlgorithm(sp *obs.Span, algo, model string, p Params) (res *
 			return nil, nil, err
 		}
 	case "mondrian":
-		req, rerr := e.requirementByNameSpan(sp, model, p)
+		req, rerr := e.requirementByNameSpan(sp, method, model, p)
 		if rerr != nil {
 			return nil, nil, rerr
 		}
@@ -517,6 +531,9 @@ type groupAttack struct {
 	risks      []float64
 	vulnerable int
 	worst      float64
+	// err records a method's refusal of the class (Exact on an
+	// oversized group); the ordered fan-in surfaces the first one.
+	err error
 }
 
 // Attack computes the posterior belief of adversary Adv(bvec) for every
@@ -529,22 +546,55 @@ type groupAttack struct {
 // self-contained and the reduction runs in group order, so the report
 // is bit-identical to the sequential path at any worker count.
 func (e *Engine) Attack(res *anonymize.Result, bvec []float64, t float64, breach Breach) (*AttackReport, error) {
-	return e.attackSpan(nil, res, bvec, t, breach)
+	return e.attackSpan(nil, nil, res, bvec, t, breach)
 }
 
 // AttackContext is Attack under a traced request: the prior pass and
 // the inference fan-out land as stage spans on the context's span.
 func (e *Engine) AttackContext(ctx context.Context, res *anonymize.Result, bvec []float64, t float64, breach Breach) (*AttackReport, error) {
-	return e.attackSpan(obs.SpanFromContext(ctx), res, bvec, t, breach)
+	return e.attackSpan(obs.SpanFromContext(ctx), nil, res, bvec, t, breach)
 }
 
-// attackSpan is the span-threaded attack behind both entry points.
-func (e *Engine) attackSpan(sp *obs.Span, res *anonymize.Result, bvec []float64, t float64, breach Breach) (*AttackReport, error) {
+// AttackWith is AttackContext with a per-call inference method — the
+// request-level override the serving layer threads through. A nil
+// method uses the engine's default. Exact refuses oversized groups
+// with inference.ErrTooLarge (first failing group in group order)
+// instead of degrading silently.
+func (e *Engine) AttackWith(ctx context.Context, m inference.Method, res *anonymize.Result, bvec []float64, t float64, breach Breach) (*AttackReport, error) {
+	return e.attackSpan(obs.SpanFromContext(ctx), m, res, bvec, t, breach)
+}
+
+// methodOr resolves a per-call method override against the engine
+// default.
+func (e *Engine) methodOr(m inference.Method) inference.Method {
+	if m == nil {
+		return e.Method
+	}
+	return m
+}
+
+// inferenceStage maps an inference method to its stage label, so the
+// cost model fits exact and adaptive traffic separately from the
+// Ω-estimate they diverge from (~49× per Figure 2's measurement).
+func inferenceStage(m inference.Method) obs.Stage {
+	switch m.Name() {
+	case inference.NameExact:
+		return obs.StageInferenceExact
+	case inference.NameAdaptive:
+		return obs.StageInferenceAdaptive
+	}
+	return obs.StageInference
+}
+
+// attackSpan is the span-threaded attack behind the attack entry
+// points; m overrides the engine's inference method when non-nil.
+func (e *Engine) attackSpan(sp *obs.Span, m inference.Method, res *anonymize.Result, bvec []float64, t float64, breach Breach) (*AttackReport, error) {
+	method := e.methodOr(m)
 	priors, err := e.priorsSpan(sp, bvec)
 	if err != nil {
 		return nil, err
 	}
-	isp := sp.Child(obs.StageInference, "inference "+e.Method.Name())
+	isp := sp.Child(inferenceStage(method), "inference "+method.Name())
 	isp.SetShape(obs.Shape{
 		Rows:   e.Table.N(),
 		Dims:   e.Table.Schema.D(),
@@ -553,11 +603,11 @@ func (e *Engine) attackSpan(sp *obs.Span, res *anonymize.Result, bvec []float64,
 	})
 	perGroup := parallel.Map(e.Workers(), len(res.Groups), func(gi int) groupAttack {
 		g := res.Groups[gi]
-		return e.attackGroup(g, priors, e.groupCounts(g), breach, t)
+		return e.attackGroup(method, g, priors, e.groupCounts(g), breach, t)
 	})
-	rep := e.reduceAttack(res, perGroup)
+	rep, err := e.reduceAttack(res, perGroup)
 	isp.End()
-	return rep, nil
+	return rep, err
 }
 
 // groupCounts is one class's sensitive multiset — bandwidth-invariant,
@@ -575,13 +625,18 @@ func (e *Engine) groupCounts(g *anonymize.Group) []int {
 // (the computed gain against t when breach is nil). It is
 // self-contained — shared by Attack and AttackSweep — so any fan-out
 // over (bandwidth, group) pairs stays bit-identical to the sequential
-// path.
-func (e *Engine) attackGroup(g *anonymize.Group, priors []prob.Dist, counts []int, breach Breach, t float64) groupAttack {
+// path. A method that refuses the group (Exact on an oversized class)
+// records its error for the ordered fan-in instead of panicking the
+// worker.
+func (e *Engine) attackGroup(m inference.Method, g *anonymize.Group, priors []prob.Dist, counts []int, breach Breach, t float64) groupAttack {
 	gp := make([]prob.Dist, g.Size())
 	for i, ri := range g.Rows {
 		gp[i] = priors[ri]
 	}
-	posts := e.Method.Posteriors(gp, counts)
+	posts, err := inference.TryPosteriors(m, gp, counts)
+	if err != nil {
+		return groupAttack{err: err}
+	}
 	ga := groupAttack{risks: make([]float64, g.Size())}
 	for i := range g.Rows {
 		risk := e.Measure.Distance(gp[i], posts[i])
@@ -602,10 +657,15 @@ func (e *Engine) attackGroup(g *anonymize.Group, priors []prob.Dist, counts []in
 
 // reduceAttack assembles a report from per-class results in group
 // order — the deterministic fan-in both attack entry points share.
-func (e *Engine) reduceAttack(res *anonymize.Result, perGroup []groupAttack) *AttackReport {
+// The first per-class error in group order wins, so the reported
+// failure is the same at any worker count.
+func (e *Engine) reduceAttack(res *anonymize.Result, perGroup []groupAttack) (*AttackReport, error) {
 	rep := &AttackReport{Risks: make([]float64, e.Table.N())}
 	for gi, g := range res.Groups {
 		ga := perGroup[gi]
+		if ga.err != nil {
+			return nil, fmt.Errorf("core: group of %d tuples: %w", g.Size(), ga.err)
+		}
 		for i, ri := range g.Rows {
 			rep.Risks[ri] = ga.risks[i]
 		}
@@ -614,7 +674,7 @@ func (e *Engine) reduceAttack(res *anonymize.Result, perGroup []groupAttack) *At
 			rep.WorstRisk = ga.worst
 		}
 	}
-	return rep
+	return rep, nil
 }
 
 // AttackSweep runs Attack for a whole grid of adversary bandwidths
@@ -626,20 +686,28 @@ func (e *Engine) reduceAttack(res *anonymize.Result, perGroup []groupAttack) *At
 // out[i] is bit-identical to Attack(res, bvecs[i], t, breach) at any
 // worker count.
 func (e *Engine) AttackSweep(res *anonymize.Result, bvecs [][]float64, t float64, breach Breach) ([]*AttackReport, error) {
-	return e.attackSweepSpan(nil, res, bvecs, t, breach)
+	return e.attackSweepSpan(nil, nil, res, bvecs, t, breach)
 }
 
 // AttackSweepContext is AttackSweep under a traced request (see
 // AttackContext); one inference span covers the whole fused dispatch.
 func (e *Engine) AttackSweepContext(ctx context.Context, res *anonymize.Result, bvecs [][]float64, t float64, breach Breach) ([]*AttackReport, error) {
-	return e.attackSweepSpan(obs.SpanFromContext(ctx), res, bvecs, t, breach)
+	return e.attackSweepSpan(obs.SpanFromContext(ctx), nil, res, bvecs, t, breach)
 }
 
-// attackSweepSpan is the span-threaded sweep behind both entry points.
-func (e *Engine) attackSweepSpan(sp *obs.Span, res *anonymize.Result, bvecs [][]float64, t float64, breach Breach) ([]*AttackReport, error) {
+// AttackSweepWith is AttackSweepContext with a per-call inference
+// method (see AttackWith); a nil method uses the engine's default.
+func (e *Engine) AttackSweepWith(ctx context.Context, m inference.Method, res *anonymize.Result, bvecs [][]float64, t float64, breach Breach) ([]*AttackReport, error) {
+	return e.attackSweepSpan(obs.SpanFromContext(ctx), m, res, bvecs, t, breach)
+}
+
+// attackSweepSpan is the span-threaded sweep behind the sweep entry
+// points; m overrides the engine's inference method when non-nil.
+func (e *Engine) attackSweepSpan(sp *obs.Span, m inference.Method, res *anonymize.Result, bvecs [][]float64, t float64, breach Breach) ([]*AttackReport, error) {
 	if len(bvecs) == 0 {
 		return nil, nil
 	}
+	method := e.methodOr(m)
 	priorsByB, err := e.priorsBatchSpan(sp, bvecs)
 	if err != nil {
 		return nil, err
@@ -651,7 +719,7 @@ func (e *Engine) attackSweepSpan(sp *obs.Span, res *anonymize.Result, bvecs [][]
 	for gi, g := range res.Groups {
 		counts[gi] = e.groupCounts(g)
 	}
-	isp := sp.Child(obs.StageInference, "inference sweep "+e.Method.Name())
+	isp := sp.Child(inferenceStage(method), "inference sweep "+method.Name())
 	isp.SetShape(obs.Shape{
 		Rows:   e.Table.N(),
 		Dims:   e.Table.Schema.D(),
@@ -659,11 +727,15 @@ func (e *Engine) attackSweepSpan(sp *obs.Span, res *anonymize.Result, bvecs [][]
 		Groups: ng,
 	})
 	perGroup := parallel.Map(e.Workers(), nb*ng, func(i int) groupAttack {
-		return e.attackGroup(res.Groups[i%ng], priorsByB[i/ng], counts[i%ng], breach, t)
+		return e.attackGroup(method, res.Groups[i%ng], priorsByB[i/ng], counts[i%ng], breach, t)
 	})
 	reports := make([]*AttackReport, nb)
 	for bi := range reports {
-		reports[bi] = e.reduceAttack(res, perGroup[bi*ng:(bi+1)*ng])
+		reports[bi], err = e.reduceAttack(res, perGroup[bi*ng:(bi+1)*ng])
+		if err != nil {
+			isp.End()
+			return nil, err
+		}
 	}
 	isp.End()
 	return reports, nil

@@ -74,6 +74,16 @@ var forms = []Form{
 	{obs.StageInference, "rows*lanes", func(s obs.Shape) float64 {
 		return f(s.Rows) * lanes(s)
 	}},
+	// The request-level method overrides run the same per-row shape but
+	// at very different constants (exact is ~49× Ω per Figure 2), so
+	// each method fits its own coefficients instead of polluting the
+	// Ω default's.
+	{obs.StageInferenceExact, "rows*lanes", func(s obs.Shape) float64 {
+		return f(s.Rows) * lanes(s)
+	}},
+	{obs.StageInferenceAdaptive, "rows*lanes", func(s obs.Shape) float64 {
+		return f(s.Rows) * lanes(s)
+	}},
 	{obs.StagePersistRead, "rows", func(s obs.Shape) float64 {
 		return f(s.Rows)
 	}},

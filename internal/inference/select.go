@@ -1,0 +1,42 @@
+package inference
+
+import (
+	"fmt"
+
+	"repro/internal/prob"
+)
+
+// Method names accepted by ByName — the request-level vocabulary the
+// serving layer threads through to the engine.
+const (
+	NameOmega    = "omega"
+	NameExact    = "exact"
+	NameAdaptive = "adaptive"
+)
+
+// ByName resolves a request-level method name. The empty string is
+// the default (Ω — the paper's scalable estimator and the engine's
+// historical behavior); "adaptive" honors maxStates when positive
+// (otherwise MaxExactStates); "exact" refuses oversized groups with
+// ErrTooLarge instead of degrading, surfaced through TryPosteriors.
+func ByName(name string, maxStates int) (Method, error) {
+	switch name {
+	case "", NameOmega:
+		return Omega{}, nil
+	case NameExact:
+		return Exact{}, nil
+	case NameAdaptive:
+		return Adaptive{MaxStates: maxStates}, nil
+	}
+	return nil, fmt.Errorf("inference: unknown method %q (want omega, exact, or adaptive)", name)
+}
+
+// TryPosteriors runs a method with explicit error reporting: Exact
+// routes through ExactPosteriors so an oversized group returns
+// ErrTooLarge instead of panicking; every other method is total.
+func TryPosteriors(m Method, priors []prob.Dist, counts []int) ([]prob.Dist, error) {
+	if _, ok := m.(Exact); ok {
+		return ExactPosteriors(priors, counts)
+	}
+	return m.Posteriors(priors, counts), nil
+}

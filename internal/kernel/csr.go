@@ -1,0 +1,136 @@
+// The whole file is the kernel's allocation-audited region: hotalloc
+// flags per-iteration allocation in every function here.
+//
+//detlint:hotpath
+package kernel
+
+import (
+	"repro/internal/parallel"
+)
+
+// CSR sparse pair-weight layout. Under a narrow bandwidth a compact
+// kernel zeroes almost every pair, and even the candidate lists the
+// blocked pass streams are mostly probes that die in the multiply
+// loop. When the measured candidate density of a table falls below
+// csrCrossover, the pass switches to a compressed-sparse-row layout
+// over the surviving pairs: row p's nonzero products live in
+// val[rowptr[p]:rowptr[p+1]] with their candidate indexes in colidx,
+// in ascending candidate order — exactly the order the probing pass
+// accumulates in, so streaming the rows is bit-identical to probing.
+//
+// The layout is built by the first pass itself (a fused sequential
+// probe+build: the pass that discovers the nonzeros also records
+// them), so the build costs one unblocked pass, and every warm pass
+// thereafter touches only the survivors: no candidate probing, no
+// multiply loop, just a linear scan of (u, w) pairs per row. val
+// stores the finished kernel product, so a warm pass re-derives the
+// histogram scale from the packed profile weight exactly as the probe
+// did.
+
+// csrCrossover is the candidate-density threshold (Σ_p |cand(p)| / n²)
+// below which the estimator builds the CSR layout. On the Adult
+// schema the measured density is ≈0.06–0.07 under b' ≤ 0.05 (the
+// high-selectivity regime, where streaming survivors beats probing)
+// and ≥0.10 from b' = 0.1 up (where CSR memory would approach the
+// dense table and the lane pass's blocked probing wins); 0.08 sits in
+// the gap. BenchmarkPriorsCSR pins the crossover: the sparse side
+// wins streaming, the dense side stays on the lane pass.
+const csrCrossover = 0.08
+
+// csrPairs is one bandwidth's surviving pair-weights in CSR form.
+type csrPairs struct {
+	rowptr []int
+	colidx []int32
+	val    []float64
+}
+
+// useCSR reports whether the table should run the CSR pass, measuring
+// candidate density on first use. DisableCSR pins the lane pass for
+// benchmarking the crossover itself.
+func (e *Estimator) useCSR(ft *flatTables) bool {
+	if e.DisableCSR {
+		return false
+	}
+	n := e.packed.N
+	if n == 0 {
+		return false
+	}
+	e.candsOf(ft) // ensures ft.candTotal is measured
+	return float64(ft.candTotal) < csrCrossover*float64(n)*float64(n)
+}
+
+// priorPassCSR runs the single-bandwidth pass in CSR form: the first
+// call performs the fused sequential probe+build (writing its own
+// output as a side effect), later calls stream the rows in parallel
+// over profile tiles. Both shapes accumulate each row in ascending
+// candidate order, so output is bit-identical to the lane pass at any
+// worker count.
+func (e *Estimator) priorPassCSR(ft *flatTables, out []float64) {
+	built := false
+	ft.csrOnce.Do(func() {
+		ft.csr = e.buildCSRFused(ft, out)
+		built = true
+	})
+	if built {
+		return
+	}
+	pp := e.packed
+	n, m := pp.N, pp.M
+	csr := ft.csr
+	tiles := (n + pTile - 1) / pTile
+	parallel.For(e.Workers, tiles, func(ti int) {
+		p0 := ti * pTile
+		p1 := p0 + pTile
+		if p1 > n {
+			p1 = n
+		}
+		for p := p0; p < p1; p++ {
+			acc := out[p*m : p*m+m]
+			wsum := 0.0
+			lo, hi := csr.rowptr[p], csr.rowptr[p+1]
+			cols := csr.colidx[lo:hi:hi]
+			vals := csr.val[lo:hi:hi]
+			for j, u := range cols {
+				accumulate(pp, acc, &wsum, int(u), vals[j])
+			}
+			e.finish(acc, wsum)
+		}
+	})
+}
+
+// buildCSRFused is the fused probe+build: one sequential unblocked
+// pass over the candidate lists that computes the priors into out and
+// records every surviving (candidate, product) pair in CSR form. The
+// value arrays are presized to the measured candidate total — an
+// upper bound on the survivors — so construction never reallocates.
+func (e *Estimator) buildCSRFused(ft *flatTables, out []float64) *csrPairs {
+	pp := e.packed
+	n, d, m := pp.N, pp.D, pp.M
+	cands := e.candsOf(ft)
+	rowptr := make([]int, n+1)
+	colidx := make([]int32, 0, ft.candTotal)
+	val := make([]float64, 0, ft.candTotal)
+	sc := e.getScratch(1, d)
+	bs := sc.base[:d]
+	for p := 0; p < n; p++ {
+		for i := 0; i < d; i++ {
+			bs[i] = ft.off[i] + int(pp.QI[p*d+i])*ft.stride[i]
+		}
+		acc := out[p*m : p*m+m]
+		wsum := 0.0
+		for _, u32 := range cands.bestList(pp, p) {
+			u := int(u32)
+			w := e.scalarProduct(ft, bs, u)
+			if w == 0 {
+				continue
+			}
+			colidx = append(colidx, u32)
+			val = append(val, w)
+			accumulate(pp, acc, &wsum, u, w)
+		}
+		rowptr[p+1] = len(colidx)
+		e.finish(acc, wsum)
+	}
+	e.pool.Put(sc)
+	return &csrPairs{rowptr: rowptr, colidx: colidx, val: val}
+}

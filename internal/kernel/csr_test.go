@@ -1,0 +1,71 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/adult"
+)
+
+// TestCSRBitIdentical pins the CSR pass — both the fused build pass
+// and the warm streaming pass, at any worker count — to the lane pass
+// bit for bit on a sparse bandwidth.
+func TestCSRBitIdentical(t *testing.T) {
+	tab := adult.Generate(400, 7)
+	b := UniformBandwidth(tab.Schema.D(), 0.05)
+	ref, err := NewEstimator(tab, adult.Hierarchies(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.DisableCSR = true
+	want, err := ref.ProfilePriors(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{-1, 0} {
+		e, err := NewEstimator(tab, adult.Hierarchies(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Workers = workers
+		for pass := 0; pass < 2; pass++ { // cold fused build, then warm stream
+			got, err := e.ProfilePriors(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pi := range got {
+				for si, v := range got[pi] {
+					if v != want[pi][si] {
+						t.Fatalf("workers=%d pass=%d profile %d component %d: CSR %v != lane %v",
+							workers, pass, pi, si, v, want[pi][si])
+					}
+				}
+			}
+		}
+		if ft := e.weightTables(nil, b); ft.csr == nil {
+			t.Fatalf("workers=%d: sparse bandwidth did not build the CSR layout (candTotal=%d of %d)",
+				workers, ft.candTotal, e.packed.N*e.packed.N)
+		}
+	}
+}
+
+// TestCSRGate pins the crossover direction: a dense table stays on the
+// lane pass, never paying for a CSR build.
+func TestCSRGate(t *testing.T) {
+	tab := adult.Generate(400, 7)
+	e, err := NewEstimator(tab, adult.Hierarchies(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := UniformBandwidth(tab.Schema.D(), 0.5)
+	if _, err := e.ProfilePriors(b); err != nil {
+		t.Fatal(err)
+	}
+	ft := e.weightTables(nil, b)
+	if ft.csr != nil {
+		t.Fatalf("dense bandwidth built a CSR layout (candTotal=%d of %d)",
+			ft.candTotal, e.packed.N*e.packed.N)
+	}
+	if e.useCSR(ft) {
+		t.Fatalf("useCSR true at density %g", float64(ft.candTotal)/float64(e.packed.N*e.packed.N))
+	}
+}

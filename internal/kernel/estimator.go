@@ -36,6 +36,25 @@ type Estimator struct {
 	// sequential). Output is identical at any setting.
 	Workers int
 
+	// Precision selects the lane kernel's product arithmetic. The
+	// default F64 is bit-identical to the pre-lane implementation and
+	// pinned by golden_test.go; the F32 opt-in computes per-pair
+	// products in float32 against a shadow table (halving the table
+	// bytes the multiply loop streams) while every reduction —
+	// denominator, histogram, normalization — stays float64. Set it
+	// before the first Priors call: weight tables are memoized per
+	// bandwidth and carry their precision. F32 results are pinned by
+	// their own goldens plus a max-relative-error bound (f32_test.go),
+	// and the fused multi-bandwidth pass is bypassed under F32 — each
+	// bandwidth of a sweep runs its own lane pass, so single and batch
+	// entry points stay bit-identical to each other.
+	Precision Precision
+
+	// DisableCSR pins the lane pass even when the measured candidate
+	// density clears the CSR crossover — the benchmarking knob that
+	// demonstrates the crossover (BenchmarkPriorsCSR).
+	DisableCSR bool
+
 	profiles []*dataset.Profile
 	packed   *dataset.PackedProfiles
 	// whole is the whole-table sensitive distribution — the fallback
@@ -60,6 +79,19 @@ type Estimator struct {
 	// pass allocates nothing beyond its output.
 	pool sync.Pool
 }
+
+// Precision selects the arithmetic of the kernel-product lanes.
+type Precision int
+
+const (
+	// F64 computes lane products in float64 — the default, bit-identical
+	// to the scalar reference implementation.
+	F64 Precision = iota
+	// F32 computes lane products in float32 with float64 reduction —
+	// the documented opt-in (service Config.KernelF32 / serve
+	// -kernel-f32), golden-versioned separately from the default.
+	F32
+)
 
 // NewEstimator prepares an estimator for the table. hiers supplies
 // generalization hierarchies for categorical attributes by name;
@@ -222,15 +254,24 @@ func (e *Estimator) profilePriorsBatch(sp *obs.Span, bvecs [][]float64) ([][]pro
 	for k := range outs {
 		outs[k] = make([]float64, n*m)
 	}
-	// The fused pass handles batchChunk bandwidths at a time (fixed
-	// stack array for the working products, tighter candidate unions);
-	// wider grids stream through in chunks.
-	for c0 := 0; c0 < len(fts); c0 += batchChunk {
-		c1 := c0 + batchChunk
-		if c1 > len(fts) {
-			c1 = len(fts)
+	if e.Precision == F32 {
+		// The fused pass is float64-only; under the F32 opt-in each
+		// bandwidth runs its own lane pass, so sweep results stay
+		// bit-identical to the single-bandwidth entry points.
+		for k, ft := range fts {
+			e.priorPass(ft, outs[k])
 		}
-		e.priorPassBatch(fts[c0:c1], outs[c0:c1])
+	} else {
+		// The fused pass handles batchChunk bandwidths at a time (fixed
+		// stack array for the working products, tighter candidate
+		// unions); wider grids stream through in chunks.
+		for c0 := 0; c0 < len(fts); c0 += batchChunk {
+			c1 := c0 + batchChunk
+			if c1 > len(fts) {
+				c1 = len(fts)
+			}
+			e.priorPassBatch(fts[c0:c1], outs[c0:c1])
+		}
 	}
 	psp.End()
 	dists := make([][]prob.Dist, len(bvecs))

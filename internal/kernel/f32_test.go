@@ -1,0 +1,137 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/adult"
+	"repro/internal/prob"
+)
+
+// referencePriorsF32 is the F32 opt-in's golden oracle: the verbatim
+// reference loop with the per-pair product computed in float32 (the
+// profile weight and each table entry rounded to float32, multiplied
+// in float32, early break on zero) and everything downstream of the
+// product — denominator, histogram scale, normalization — in float64.
+// The lane pass under Precision == F32 must reproduce it bit for bit.
+func referencePriorsF32(e *Estimator, b []float64) []prob.Dist {
+	weights := make([][][]float64, len(e.Matrices))
+	for i, m := range e.Matrices {
+		weights[i] = WeightTable(e.Kernel, m, b[i])
+	}
+	m := e.Table.Schema.M()
+	out := make([]prob.Dist, len(e.profiles))
+	for pi, p := range e.profiles {
+		acc := make(prob.Dist, m)
+		denom := 0.0
+		d := len(p.QI)
+		for _, u := range e.profiles {
+			wf := float32(u.Weight())
+			for i := 0; i < d; i++ {
+				wf *= float32(weights[i][p.QI[i]][u.QI[i]])
+				if wf == 0 {
+					break
+				}
+			}
+			if wf == 0 {
+				continue
+			}
+			w := float64(wf)
+			denom += w
+			scale := w
+			if u.Weight() != 1 {
+				scale = w / float64(u.Weight())
+			}
+			for si, c := range u.Counts {
+				if c != 0 {
+					acc[si] += scale * float64(c)
+				}
+			}
+		}
+		if denom == 0 {
+			out[pi] = prob.FromCounts(e.Table.SensitiveCounts(nil))
+			continue
+		}
+		for i := range acc {
+			acc[i] /= denom
+		}
+		out[pi] = acc
+	}
+	return out
+}
+
+// TestGoldenPriorsF32 pins the F32 opt-in to its own oracle with exact
+// bitwise equality, across worker counts and the golden bandwidth
+// grid (sparse bandwidths route through the CSR pass, which must
+// preserve the F32 products too).
+func TestGoldenPriorsF32(t *testing.T) {
+	tab := adult.Generate(400, 7)
+	for _, workers := range []int{-1, 0} {
+		e, err := NewEstimator(tab, adult.Hierarchies(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Workers = workers
+		e.Precision = F32
+		for _, bw := range []float64{0.1, 0.3, 0.5, 1} {
+			b := UniformBandwidth(tab.Schema.D(), bw)
+			want := referencePriorsF32(e, b)
+			got, err := e.ProfilePriors(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pi := range got {
+				for si, v := range got[pi] {
+					if v != want[pi][si] {
+						t.Fatalf("b=%g workers=%d profile %d component %d: f32 lane %v != f32 reference %v",
+							bw, workers, pi, si, v, want[pi][si])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestF32RelativeError bounds the opt-in's divergence from the
+// float64 default: every prior component within a 1e-4 relative error
+// of the F64 result (absolute where the F64 component is ~zero).
+func TestF32RelativeError(t *testing.T) {
+	tab := adult.Generate(400, 7)
+	e64, err := NewEstimator(tab, adult.Hierarchies(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e32, err := NewEstimator(tab, adult.Hierarchies(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e32.Precision = F32
+	const bound = 1e-4
+	for _, bw := range []float64{0.1, 0.3, 0.5, 1} {
+		b := UniformBandwidth(tab.Schema.D(), bw)
+		want, err := e64.ProfilePriors(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e32.ProfilePriors(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := 0.0
+		for pi := range got {
+			for si, v := range got[pi] {
+				ref := want[pi][si]
+				diff := math.Abs(v - ref)
+				if ref > 1e-12 {
+					diff /= ref
+				}
+				if diff > worst {
+					worst = diff
+				}
+			}
+		}
+		if worst > bound {
+			t.Fatalf("b=%g: max relative error %g exceeds %g", bw, worst, bound)
+		}
+	}
+}

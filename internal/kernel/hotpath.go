@@ -59,6 +59,13 @@ type flatTables struct {
 	stride []int
 	size   int
 
+	// wf32 is the float32 shadow of w, built only under the F32
+	// precision opt-in (lanes.go); the default path never touches it.
+	wf32 []float32
+	// lanes is the block width of the lane pass (4 or 8), chosen at
+	// table build from the table's nonzero density (laneWidthFor).
+	lanes int
+
 	// cands indexes the table's support over the packed profiles,
 	// built on first use: the single-bandwidth pass wants its own
 	// table's candidates, while a sweep needs only its chunk-union's,
@@ -66,6 +73,14 @@ type flatTables struct {
 	// never reads.
 	candOnce sync.Once
 	cands    candSet
+	// candTotal is Σ_p |cand(p)|, measured when cands is built — the
+	// density numerator the CSR crossover decision reads (csr.go).
+	candTotal int
+
+	// csr is the sparse pair-weight layout, built by the first CSR
+	// pass when the measured density clears the crossover (csr.go).
+	csrOnce sync.Once
+	csr     *csrPairs
 }
 
 // candSet holds the candidate lists the pass iterates instead of all n
@@ -98,6 +113,19 @@ func (e *Estimator) buildFlat(b []float64) *flatTables {
 			fillWeights(ft.w[base+v*ft.stride[i]:], e.Kernel, row, b[i])
 		}
 	}
+	nnz := 0
+	for _, w := range ft.w {
+		if w != 0 {
+			nnz++
+		}
+	}
+	ft.lanes = laneWidthFor(nnz, ft.size)
+	if e.Precision == F32 {
+		ft.wf32 = make([]float32, ft.size)
+		for i, w := range ft.w {
+			ft.wf32[i] = float32(w)
+		}
+	}
 	return ft
 }
 
@@ -121,6 +149,11 @@ func fillWeights(dst []float64, k Func, xs []float64, b float64) {
 func (e *Estimator) candsOf(ft *flatTables) *candSet {
 	ft.candOnce.Do(func() {
 		ft.cands = e.buildCands(func(idx int) bool { return ft.w[idx] != 0 })
+		total := 0
+		for p := 0; p < e.packed.N; p++ {
+			total += len(ft.cands.bestList(e.packed, p))
+		}
+		ft.candTotal = total
 	})
 	return &ft.cands
 }
@@ -264,77 +297,17 @@ func fillBases(pp *dataset.PackedProfiles, ft *flatTables, base []int, p0, p1 in
 
 // priorPass runs the single-bandwidth Nadaraya–Watson pass over the
 // packed profiles, writing each profile's normalized prior into
-// out[p*m : (p+1)*m]. Tiles fan out on the estimator's pool; each
-// query profile is computed wholly by one worker in fixed order, so
-// output is bit-identical at any setting.
+// out[p*m : (p+1)*m]. It dispatches on the table's measured shape:
+// sparse tables stream the CSR pair-weight layout (csr.go), dense
+// tables run the lane-blocked pass (lanes.go). Each query profile is
+// computed wholly by one worker in fixed ascending-candidate order
+// under either shape, so output is bit-identical at any setting.
 func (e *Estimator) priorPass(ft *flatTables, out []float64) {
-	pp := e.packed
-	n, d, m := pp.N, pp.D, pp.M
-	cands := e.candsOf(ft)
-	tiles := (n + pTile - 1) / pTile
-	parallel.For(e.Workers, tiles, func(ti int) {
-		p0 := ti * pTile
-		p1 := p0 + pTile
-		if p1 > n {
-			p1 = n
-		}
-		sc := e.getScratch(p1-p0, (p1-p0)*d)
-		denom := sc.denom[:p1-p0]
-		for i := range denom {
-			denom[i] = 0
-		}
-		base := sc.base[:(p1-p0)*d]
-		fillBases(pp, ft, base, p0, p1)
-		for pl := 0; pl < p1-p0; pl++ {
-			sc.lists[pl] = cands.bestList(pp, p0+pl)
-			sc.cur[pl] = 0
-		}
-		for u0 := 0; u0 < n; u0 += uTile {
-			u1 := u0 + uTile
-			if u1 > n {
-				u1 = n
-			}
-			for p := p0; p < p1; p++ {
-				pl := p - p0
-				acc := out[p*m : p*m+m]
-				bs := base[pl*d : pl*d+d]
-				list := sc.lists[pl]
-				wsum := denom[pl]
-				c := sc.cur[pl]
-				for ; c < len(list) && int(list[c]) < u1; c++ {
-					u := int(list[c])
-					wu := pp.Weights[u]
-					w := wu
-					uq := pp.QI[u*d : u*d+d]
-					for i, b := range bs {
-						w *= ft.w[b+int(uq[i])]
-						if w == 0 {
-							break
-						}
-					}
-					if w == 0 {
-						continue
-					}
-					wsum += w
-					// w/1 is exactly w — most profiles are singletons,
-					// so the division usually vanishes.
-					scale := w
-					if wu != 1 {
-						scale = w / wu
-					}
-					for _, si := range pp.NZIdx[pp.NZOff[u]:pp.NZOff[u+1]] {
-						acc[si] += scale * pp.Counts[u*m+int(si)]
-					}
-				}
-				sc.cur[pl] = c
-				denom[pl] = wsum
-			}
-		}
-		for p := p0; p < p1; p++ {
-			e.finish(out[p*m:p*m+m], denom[p-p0])
-		}
-		e.pool.Put(sc)
-	})
+	if e.useCSR(ft) {
+		e.priorPassCSR(ft, out)
+		return
+	}
+	e.priorPassLanes(ft, out)
 }
 
 // batchChunk is the fused pass's grid width: bandwidths are processed
@@ -342,6 +315,23 @@ func (e *Estimator) priorPass(ft *flatTables, out []float64) {
 // one fixed-size stack array, the inner loops run branchless over a
 // compiler-known bound, and each chunk's candidate union stays tight.
 const batchChunk = 8
+
+// mulLane8 multiplies one interleaved width-8 table row into the
+// chunk's working products — a fixed bound the compiler keeps
+// bounds-check-free and inlines into the fused pass.
+func mulLane8(wk *[batchChunk]float64, row *[8]float64) {
+	for k := 0; k < 8; k++ {
+		wk[k] *= row[k]
+	}
+}
+
+// mulLane4 is mulLane8 at interleave width four; lanes past the
+// chunk's width are untouched (and unread: the fold loops stop at nb).
+func mulLane4(wk *[batchChunk]float64, row *[4]float64) {
+	for k := 0; k < 4; k++ {
+		wk[k] *= row[k]
+	}
+}
 
 // priorPassBatch is the fused multi-bandwidth pass over one chunk
 // (len(fts) ≤ batchChunk): one sweep of the profile×profile space
@@ -360,15 +350,22 @@ func (e *Estimator) priorPassBatch(fts []*flatTables, outs [][]float64) {
 	n, d, m := pp.N, pp.D, pp.M
 	nb := len(fts)
 	tlen := fts[0].size
-	// The interleaved table always carries batchChunk lanes; a chunk
-	// narrower than that leaves its spare lanes all-zero, so their
-	// products die at the first multiply and never reach the
-	// accumulation phase. Fixed lanes let the multiply loop run over a
-	// compiler-known bound — unrolled, no bounds checks.
-	big := make([]float64, batchChunk*tlen)
+	// The interleaved table carries a fixed lane count chosen at build
+	// — width 4 for chunks of up to four bandwidths, width 8 above —
+	// so a narrow chunk halves its table footprint and multiply work
+	// instead of dragging spare all-zero lanes. A chunk narrower than
+	// its width leaves the spare lanes all-zero: their products die at
+	// the first multiply and never reach the accumulation phase. Fixed
+	// widths let the multiply helpers run over compiler-known bounds —
+	// no bounds checks in the inner loop.
+	lw := 8
+	if nb <= 4 {
+		lw = 4
+	}
+	big := make([]float64, lw*tlen)
 	for k, ft := range fts {
 		for idx, w := range ft.w {
-			big[idx*batchChunk+k] = w
+			big[idx*lw+k] = w
 		}
 	}
 	// Candidates of the chunk's union support: a pair outside it is
@@ -453,14 +450,21 @@ func (e *Estimator) priorPassBatch(fts []*flatTables, outs [][]float64) {
 					}
 					uq := pp.QI[u*d : u*d+d]
 					dead := false
-					for i, b := range bs {
-						row := (*[batchChunk]float64)(big[(b+int(uq[i]))*batchChunk:])
-						for k := 0; k < batchChunk; k++ {
-							wk[k] *= row[k]
+					if lw == 4 {
+						for i, b := range bs {
+							mulLane4(&wk, (*[4]float64)(big[(b+int(uq[i]))*4:]))
+							if *blp == 0 {
+								dead = true
+								break
+							}
 						}
-						if *blp == 0 {
-							dead = true
-							break
+					} else {
+						for i, b := range bs {
+							mulLane8(&wk, (*[8]float64)(big[(b+int(uq[i]))*8:]))
+							if *blp == 0 {
+								dead = true
+								break
+							}
 						}
 					}
 					if dead {
@@ -524,7 +528,9 @@ func (e *Estimator) finish(acc []float64, denom float64) {
 }
 
 // priorAtPoint runs the Nadaraya–Watson sum for one arbitrary QI point
-// q (value indexes), which need not occur in the table.
+// q (value indexes), which need not occur in the table. Products run
+// in the estimator's precision (scalarProduct), the reduction in
+// float64, matching the pass proper.
 func (e *Estimator) priorAtPoint(q []int, ft *flatTables) prob.Dist {
 	pp := e.packed
 	n, d, m := pp.N, pp.D, pp.M
@@ -535,25 +541,8 @@ func (e *Estimator) priorAtPoint(q []int, ft *flatTables) prob.Dist {
 	}
 	denom := 0.0
 	for u := 0; u < n; u++ {
-		wu := pp.Weights[u]
-		w := wu
-		uq := pp.QI[u*d : u*d+d]
-		for i, b := range base {
-			w *= ft.w[b+int(uq[i])]
-			if w == 0 {
-				break
-			}
-		}
-		if w == 0 {
-			continue
-		}
-		denom += w
-		scale := w
-		if wu != 1 {
-			scale = w / wu
-		}
-		for _, si := range pp.NZIdx[pp.NZOff[u]:pp.NZOff[u+1]] {
-			acc[si] += scale * pp.Counts[u*m+int(si)]
+		if w := e.scalarProduct(ft, base, u); w != 0 {
+			accumulate(pp, acc, &denom, u, w)
 		}
 	}
 	e.finish(acc, denom)

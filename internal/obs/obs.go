@@ -67,6 +67,13 @@ const (
 	StagePersistRead
 	// StagePersistWrite is one durable-tier write-through.
 	StagePersistWrite
+	// StageInferenceExact is an inference pass under the request-level
+	// "exact" method override — priced separately from the Ω default,
+	// whose per-group cost it exceeds by orders of magnitude.
+	StageInferenceExact
+	// StageInferenceAdaptive is an inference pass under the "adaptive"
+	// override (exact below the state bound, Ω above it).
+	StageInferenceAdaptive
 
 	numStages
 )
@@ -84,6 +91,9 @@ var stageNames = [numStages]string{
 	StageInference:     "inference",
 	StagePersistRead:   "persist_read",
 	StagePersistWrite:  "persist_write",
+
+	StageInferenceExact:    "inference_exact",
+	StageInferenceAdaptive: "inference_adaptive",
 }
 
 func (st Stage) String() string {

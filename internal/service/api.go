@@ -127,6 +127,17 @@ type AnonymizeRequest struct {
 	// never enters the release key or the persisted request, and with it
 	// off the body is byte-identical to an unexplained request.
 	Explain bool `json:"explain,omitempty"`
+	// Inference selects the posterior-inference method for the (B,t)
+	// breach checks the pipeline runs: "omega" (the default Ω-estimate)
+	// or "adaptive" (exact below a state bound, Ω above). "exact" is
+	// rejected for releases — Mondrian's first candidate group is the
+	// whole table, far past any exact bound. "omega" canonicalizes to
+	// the empty default, so the release key (and therefore the release
+	// id and persisted artifact) of default-method requests is unchanged.
+	Inference string `json:"inference,omitempty"`
+	// MaxStates overrides the adaptive method's exact-inference state
+	// bound (default inference.MaxExactStates); ignored otherwise.
+	MaxStates int `json:"max_states,omitempty"`
 }
 
 // normalize applies defaults in place.
@@ -153,6 +164,14 @@ func (r *AnonymizeRequest) normalize() {
 	if r.B == 0 {
 		r.B = 0.3
 	}
+	// "omega" is the default spelled out: canonicalize so both forms
+	// share one release key.
+	if r.Inference == "omega" {
+		r.Inference = ""
+	}
+	if r.Inference != "adaptive" {
+		r.MaxStates = 0
+	}
 }
 
 // validate rejects out-of-range or unknown fields after normalize.
@@ -176,6 +195,16 @@ func (r *AnonymizeRequest) validate() error {
 	if r.B <= 0 || r.B > 1 {
 		return fmt.Errorf("b must be in (0, 1] (got %g)", r.B)
 	}
+	switch r.Inference {
+	case "", "adaptive":
+	case "exact":
+		return fmt.Errorf("inference %q is not available for releases (the pipeline checks table-sized groups); use adaptive", r.Inference)
+	default:
+		return fmt.Errorf("unknown inference %q (want omega|adaptive)", r.Inference)
+	}
+	if r.MaxStates < 0 {
+		return fmt.Errorf("max_states must be >= 0 (got %d)", r.MaxStates)
+	}
 	return nil
 }
 
@@ -183,14 +212,33 @@ func (r *AnonymizeRequest) validate() error {
 // every field that affects the released groups, in a fixed order and
 // rendering. Requests that differ only in JSON formatting, field
 // order, or defaulted-vs-explicit values map to the same key.
+// Non-default inference selections append to the key; the default
+// (Ω) appends nothing, so pre-existing release ids — and the persisted
+// artifacts integrity-checked against them — are untouched.
 func (r *AnonymizeRequest) key() string {
-	return strings.Join([]string{
+	k := strings.Join([]string{
 		r.Dataset, r.Algo, r.Model,
 		"k=" + strconv.Itoa(r.K),
 		"l=" + strconv.Itoa(r.L),
 		"t=" + strconv.FormatFloat(r.T, 'g', -1, 64),
 		"b=" + strconv.FormatFloat(r.B, 'g', -1, 64),
 	}, "|")
+	return k + inferenceKeySuffix(r.Inference, r.MaxStates)
+}
+
+// inferenceKeySuffix renders a method selection for cache keys —
+// release keys, attack/sweep singleflight keys — as a suffix that is
+// empty for the default method, keeping default keys (and the ids
+// hashed from them) identical to the pre-inference-selection era.
+func inferenceKeySuffix(name string, maxStates int) string {
+	if name == "" {
+		return ""
+	}
+	s := "|inference=" + name
+	if maxStates > 0 {
+		s += "|max_states=" + strconv.Itoa(maxStates)
+	}
+	return s
 }
 
 // AnonymizeResponse is the release handle plus summary statistics.
@@ -223,6 +271,40 @@ type AttackRequest struct {
 	// Explain attaches the opt-in cost block to the response (the
 	// ?explain=1 query form is equivalent). Transport, not content.
 	Explain bool `json:"explain,omitempty"`
+	// Inference selects the posterior-inference method for this attack:
+	// "omega" (default), "exact" (refuses oversized groups with a 422),
+	// or "adaptive" — the documented recommendation for large groups
+	// (exact answers where affordable, Ω elsewhere). The selection is
+	// part of the attack's cache identity: mixed-method traffic against
+	// one release never shares results.
+	Inference string `json:"inference,omitempty"`
+	// MaxStates overrides the adaptive state bound (see AnonymizeRequest).
+	MaxStates int `json:"max_states,omitempty"`
+}
+
+// normalizeInference canonicalizes the attack/risk method selection:
+// "omega" is the default spelled out, and max_states is meaningful
+// only for adaptive.
+func (r *AttackRequest) normalizeInference() {
+	if r.Inference == "omega" {
+		r.Inference = ""
+	}
+	if r.Inference != "adaptive" {
+		r.MaxStates = 0
+	}
+}
+
+// validateInference rejects unknown methods after normalizeInference.
+func (r *AttackRequest) validateInference() error {
+	switch r.Inference {
+	case "", "exact", "adaptive":
+	default:
+		return fmt.Errorf("unknown inference %q (want omega|exact|adaptive)", r.Inference)
+	}
+	if r.MaxStates < 0 {
+		return fmt.Errorf("max_states must be >= 0 (got %d)", r.MaxStates)
+	}
+	return nil
 }
 
 // MaxSweepPoints caps the bprimes grid of one attack/risk request: a
@@ -258,6 +340,10 @@ type AttackResponse struct {
 	P90Risk    float64 `json:"p90_risk"`
 	P99Risk    float64 `json:"p99_risk"`
 	WorstRisk  float64 `json:"worst_risk"`
+	// Inference echoes a non-default method selection; omitted for the
+	// Ω default, so default bodies are byte-identical to earlier
+	// releases of the API.
+	Inference string `json:"inference,omitempty"`
 	// Explain is the opt-in cost block. Per-request: computeAttack's
 	// singleflight shares the value fields, never this pointer.
 	Explain *ExplainBlock `json:"explain,omitempty"`
@@ -268,6 +354,7 @@ type RiskResponse struct {
 	Release   string        `json:"release"`
 	BPrime    float64       `json:"bprime"`
 	WorstRisk float64       `json:"worst_risk"`
+	Inference string        `json:"inference,omitempty"`
 	Explain   *ExplainBlock `json:"explain,omitempty"`
 }
 

@@ -39,11 +39,13 @@ func (s *Server) anonymizeShapes(ds *datasetEntry, algo string) []stageShape {
 
 // attackShapes lists the cold-path stages of an attack/risk request
 // over a lanes-wide bandwidth grid: one kernel-table build per
-// bandwidth, one (fused, for a sweep) prior pass, one inference pass.
-// The engine memoizes tables and priors per bandwidth, so a warm
-// request spends far less than this — the explain residual shows
-// exactly how much the caches saved.
-func attackShapes(entry *releaseEntry, lanes int) []stageShape {
+// bandwidth, one (fused, for a sweep) prior pass, one inference pass
+// priced under the request's method — each method fits its own
+// coefficients, since exact is orders of magnitude costlier per row
+// than the Ω default. The engine memoizes tables and priors per
+// bandwidth, so a warm request spends far less than this — the explain
+// residual shows exactly how much the caches saved.
+func attackShapes(entry *releaseEntry, lanes int, method string) []stageShape {
 	profiles := len(entry.ds.engine.Estimator.Profiles())
 	n, d := entry.ds.table.N(), entry.ds.table.Schema.D()
 	groups := len(entry.res.Groups)
@@ -53,9 +55,21 @@ func attackShapes(entry *releaseEntry, lanes int) []stageShape {
 	}
 	out = append(out,
 		stageShape{obs.StagePriors, obs.Shape{Profiles: profiles, Dims: d, Lanes: lanes}},
-		stageShape{obs.StageInference, obs.Shape{Rows: n, Dims: d, Lanes: lanes, Groups: groups}},
+		stageShape{inferenceStageFor(method), obs.Shape{Rows: n, Dims: d, Lanes: lanes, Groups: groups}},
 	)
 	return out
+}
+
+// inferenceStageFor maps a (canonicalized) method name to the ledger
+// stage its passes are recorded — and priced — under.
+func inferenceStageFor(method string) obs.Stage {
+	switch method {
+	case "exact":
+		return obs.StageInferenceExact
+	case "adaptive":
+		return obs.StageInferenceAdaptive
+	}
+	return obs.StageInference
 }
 
 // price evaluates the cost model over a request's stage list, in list
@@ -113,7 +127,7 @@ func wantExplain(r *http.Request, body bool) bool {
 // handleEstimate prices a hypothetical request without running it:
 //
 //	GET /v1/estimate?op=anonymize&dataset={id}&algo=mondrian
-//	GET /v1/estimate?op=attack&release={id}&bprimes=0.1,0.3
+//	GET /v1/estimate?op=attack&release={id}&bprimes=0.1,0.3&inference=adaptive
 //
 // (op=risk is an alias for attack — both run the same pipeline). The
 // response carries per-stage predictions with fit quality; stages the
@@ -154,6 +168,16 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "op=%s needs release={id}", op)
 			return
 		}
+		inf := q.Get("inference")
+		if inf == "omega" {
+			inf = ""
+		}
+		switch inf {
+		case "", "exact", "adaptive":
+		default:
+			writeErr(w, http.StatusBadRequest, "unknown inference %q (want omega|exact|adaptive)", inf)
+			return
+		}
 		lanes := 1
 		if raw := q.Get("bprimes"); raw != "" {
 			points := strings.Split(raw, ",")
@@ -174,7 +198,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusNotFound, "unknown release %q", relRef)
 			return
 		}
-		shapes = attackShapes(entry, lanes)
+		shapes = attackShapes(entry, lanes, inf)
 	default:
 		writeErr(w, http.StatusBadRequest, "op must be anonymize|attack|risk (got %q)", op)
 		return

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/dataset"
+	"repro/internal/inference"
 	"repro/internal/kernel"
 	"repro/internal/obs"
 	"repro/internal/parallel"
@@ -34,6 +35,14 @@ type Config struct {
 	// (0 = all cores, negative = sequential; the package-wide
 	// convention). All responses are bit-identical at any setting.
 	Workers int
+	// KernelF32 opts the whole server into float32 lane accumulation
+	// for kernel prior passes (cmd/serve -kernel-f32): per-pair
+	// products in float32, reductions in float64. Priors — and
+	// therefore releases and attacks — differ from the float64 default
+	// within the pinned 1e-4 relative bound, so dataset ids are keyed
+	// apart (|kernel=f32) and f32 artifacts never collide with f64 ones
+	// in memory or on disk.
+	KernelF32 bool
 	// ReleaseCap is the release store's LRU capacity (default 128).
 	ReleaseCap int
 	// DatasetCap is the dataset store's LRU capacity (default 8).
@@ -466,7 +475,22 @@ func (s *Server) buildDataset(sp *obs.Span, id string, schemaID string, spec *sc
 	if err != nil {
 		return nil, err
 	}
+	if s.cfg.KernelF32 {
+		// Before any prior pass: weight tables are memoized per
+		// bandwidth and carry the precision they were built under.
+		eng.Estimator.Precision = kernel.F32
+	}
 	return &datasetEntry{id: id, schemaID: schemaID, table: table, engine: eng}, nil
+}
+
+// datasetKey finalizes a dataset id key: an f32 server keys its
+// datasets (and hence releases and attacks) apart from the bit-exact
+// float64 default.
+func (s *Server) datasetKey(key string) string {
+	if s.cfg.KernelF32 {
+		return key + "|kernel=f32"
+	}
+	return key
 }
 
 // handleDatasets ingests a dataset: JSON {n, seed, schema} synthesizes
@@ -505,8 +529,8 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	id := hashID("ds", "synthetic|schema="+schemaID+
-		"|n="+strconv.Itoa(req.N)+"|seed="+strconv.FormatInt(req.Seed, 10))
+	id := hashID("ds", s.datasetKey("synthetic|schema="+schemaID+
+		"|n="+strconv.Itoa(req.N)+"|seed="+strconv.FormatInt(req.Seed, 10)))
 	sp := obs.SpanFromContext(r.Context())
 	entry, src, err := s.datasets.do(id, func() (*datasetEntry, error) {
 		// The singleflight leader runs this closure in its own request
@@ -598,7 +622,7 @@ func (s *Server) ingestCSV(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	id := hashID("ds", "csv|schema="+schemaID+"|sha256="+hex.EncodeToString(h.Sum(nil)))
+	id := hashID("ds", s.datasetKey("csv|schema="+schemaID+"|sha256="+hex.EncodeToString(h.Sum(nil))))
 	entry, src, err := s.datasets.do(id, func() (*datasetEntry, error) {
 		e, err := s.buildDataset(sp, id, schemaID, spec, table)
 		if err == nil {
@@ -742,10 +766,16 @@ func (s *Server) resolveOrCompute(ctx context.Context, ds *datasetEntry, req Ano
 func (s *Server) runPipeline(sp *obs.Span, id string, ds *datasetEntry, req AnonymizeRequest) (*releaseEntry, error) {
 	s.metrics.PipelineRuns.Add(1)
 	params := core.Params{K: req.K, L: req.L, T: req.T, B: req.B}
+	// A nil method keeps the engine's own default; only an explicit
+	// selection overrides it (validate already rejected "exact" here).
+	method, err := methodFor(req.Inference, req.MaxStates)
+	if err != nil {
+		return nil, err
+	}
 	psp := sp.Child(obs.StageNone, "pipeline "+req.Algo)
 	start := time.Now()
-	res, _, err := ds.engine.RunAlgorithmContext(
-		obs.ContextWithSpan(context.Background(), psp), req.Algo, req.Model, params)
+	res, _, err := ds.engine.RunAlgorithmWith(
+		obs.ContextWithSpan(context.Background(), psp), method, req.Algo, req.Model, params)
 	seconds := time.Since(start).Seconds()
 	psp.End()
 	if err != nil {
@@ -762,6 +792,16 @@ func (s *Server) runPipeline(sp *obs.Span, id string, ds *datasetEntry, req Anon
 	}, nil
 }
 
+// methodFor resolves a request's method selection: empty keeps the
+// engine default (nil method — the engine substitutes its own), a name
+// resolves through inference.ByName.
+func methodFor(name string, maxStates int) (inference.Method, error) {
+	if name == "" {
+		return nil, nil
+	}
+	return inference.ByName(name, maxStates)
+}
+
 // breachModelFor maps a request's model name to the criterion attacks
 // test the release against; the composite skyline breaches like (B,t).
 func breachModelFor(model string) core.Model {
@@ -772,8 +812,9 @@ func breachModelFor(model string) core.Model {
 }
 
 // attackResponse folds one attack report into its response body:
-// breach count plus the risk-profile quantiles.
-func attackResponse(entry *releaseEntry, bprime float64, rep *core.AttackReport) *AttackResponse {
+// breach count plus the risk-profile quantiles. inf is echoed when a
+// non-default method produced the numbers.
+func attackResponse(entry *releaseEntry, bprime float64, inf string, rep *core.AttackReport) *AttackResponse {
 	risks := append([]float64(nil), rep.Risks...)
 	sort.Float64s(risks)
 	mean := 0.0
@@ -794,6 +835,7 @@ func attackResponse(entry *releaseEntry, bprime float64, rep *core.AttackReport)
 	return &AttackResponse{
 		Release:    entry.id,
 		BPrime:     bprime,
+		Inference:  inf,
 		Records:    len(risks),
 		Vulnerable: rep.Vulnerable,
 		MeanRisk:   mean,
@@ -813,20 +855,28 @@ func breachFor(entry *releaseEntry) core.Breach {
 // computeAttack runs (or joins) one attack evaluation: adversary
 // Adv(b') against the stored release, breached under the release's own
 // criterion. Classes fan out on the dataset's shared pool; the
-// response is bit-identical at any worker count.
-func (s *Server) computeAttack(ctx context.Context, entry *releaseEntry, bprime float64) (*AttackResponse, error) {
-	key := entry.id + "|b'=" + strconv.FormatFloat(bprime, 'g', -1, 64)
+// response is bit-identical at any worker count. The method selection
+// is part of the singleflight key — concurrent requests for the same
+// (release, b') under different methods compute separately and never
+// share a result.
+func (s *Server) computeAttack(ctx context.Context, entry *releaseEntry, bprime float64, inf string, maxStates int) (*AttackResponse, error) {
+	key := entry.id + "|b'=" + strconv.FormatFloat(bprime, 'g', -1, 64) +
+		inferenceKeySuffix(inf, maxStates)
 	resp, shared, err := s.attacks.Do(key, func() (*AttackResponse, error) {
 		// The singleflight leader runs here on its own goroutine's
 		// context, so the prior and inference spans land on exactly one
 		// trace; followers just share the response.
-		eng := entry.ds.engine
-		bvec := kernel.UniformBandwidth(entry.ds.table.Schema.D(), bprime)
-		rep, err := eng.AttackContext(ctx, entry.res, bvec, entry.req.T, breachFor(entry))
+		method, err := methodFor(inf, maxStates)
 		if err != nil {
 			return nil, err
 		}
-		return attackResponse(entry, bprime, rep), nil
+		eng := entry.ds.engine
+		bvec := kernel.UniformBandwidth(entry.ds.table.Schema.D(), bprime)
+		rep, err := eng.AttackWith(ctx, method, entry.res, bvec, entry.req.T, breachFor(entry))
+		if err != nil {
+			return nil, err
+		}
+		return attackResponse(entry, bprime, inf, rep), nil
 	})
 	if shared {
 		obs.SpanFromContext(ctx).SetOutcome(sourceShared.String())
@@ -841,27 +891,32 @@ func (s *Server) computeAttack(ctx context.Context, entry *releaseEntry, bprime 
 // bit-identical to single-bprime attacks (the engine's AttackSweep
 // guarantee, pinned by the HTTP tests). The return maps each distinct
 // bandwidth to its response; callers assemble request order from it.
-func (s *Server) computeSweep(ctx context.Context, entry *releaseEntry, bprimes []float64) (map[float64]*AttackResponse, error) {
+func (s *Server) computeSweep(ctx context.Context, entry *releaseEntry, bprimes []float64, inf string, maxStates int) (map[float64]*AttackResponse, error) {
 	norm := normalizeGrid(bprimes)
 	parts := make([]string, len(norm))
 	for i, bp := range norm {
 		parts[i] = strconv.FormatFloat(bp, 'g', -1, 64)
 	}
-	key := entry.id + "|sweep=" + strings.Join(parts, ",")
+	key := entry.id + "|sweep=" + strings.Join(parts, ",") +
+		inferenceKeySuffix(inf, maxStates)
 	results, _, err := s.sweeps.Do(key, func() (map[float64]*AttackResponse, error) {
+		method, err := methodFor(inf, maxStates)
+		if err != nil {
+			return nil, err
+		}
 		eng := entry.ds.engine
 		d := entry.ds.table.Schema.D()
 		bvecs := make([][]float64, len(norm))
 		for i, bp := range norm {
 			bvecs[i] = kernel.UniformBandwidth(d, bp)
 		}
-		reps, err := eng.AttackSweepContext(ctx, entry.res, bvecs, entry.req.T, breachFor(entry))
+		reps, err := eng.AttackSweepWith(ctx, method, entry.res, bvecs, entry.req.T, breachFor(entry))
 		if err != nil {
 			return nil, err
 		}
 		out := make(map[float64]*AttackResponse, len(norm))
 		for i, bp := range norm {
-			out[bp] = attackResponse(entry, bp, reps[i])
+			out[bp] = attackResponse(entry, bp, inf, reps[i])
 		}
 		return out, nil
 	})
@@ -882,143 +937,176 @@ func normalizeGrid(bprimes []float64) []float64 {
 	return out
 }
 
+// attackQuery is a validated attack/risk request: the stored release,
+// the bandwidth grid to evaluate, and the (canonicalized) method
+// selection.
+type attackQuery struct {
+	entry     *releaseEntry
+	bprimes   []float64
+	sweep     bool
+	explain   bool
+	inference string
+	maxStates int
+}
+
 // getRelease resolves an attack/risk request body to a stored release
 // plus the bandwidth grid to evaluate: one entry for the single-bprime
 // form (defaulting to 0.3 only when the field is absent), the
-// validated request-order grid for the bprimes sweep form. sweep
+// validated request-order grid for the bprimes sweep form. q.sweep
 // reports which form was used. An explicit out-of-range value — zero
 // included — is rejected, with the check and the message agreeing on
 // the valid (0, 1] range.
-func (s *Server) getRelease(w http.ResponseWriter, r *http.Request) (entry *releaseEntry, bprimes []float64, sweep, explain, ok bool) {
+func (s *Server) getRelease(w http.ResponseWriter, r *http.Request) (q attackQuery, ok bool) {
 	var req AttackRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeBodyErr(w, "decoding request", err)
-		return nil, nil, false, false, false
+		return q, false
 	}
-	explain = wantExplain(r, req.Explain)
+	req.normalizeInference()
+	if err := req.validateInference(); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return q, false
+	}
+	q.inference = req.Inference
+	q.maxStates = req.MaxStates
+	q.explain = wantExplain(r, req.Explain)
 	switch {
 	case req.BPrimes != nil:
 		if req.BPrime != nil {
 			writeErr(w, http.StatusBadRequest, "bprime and bprimes are mutually exclusive")
-			return nil, nil, false, false, false
+			return q, false
 		}
 		if len(req.BPrimes) == 0 {
 			writeErr(w, http.StatusBadRequest, "bprimes must name at least one bandwidth")
-			return nil, nil, false, false, false
+			return q, false
 		}
 		if len(req.BPrimes) > MaxSweepPoints {
 			writeErr(w, http.StatusBadRequest, "bprimes has %d points (max %d)", len(req.BPrimes), MaxSweepPoints)
-			return nil, nil, false, false, false
+			return q, false
 		}
-		bprimes = req.BPrimes
-		sweep = true
+		q.bprimes = req.BPrimes
+		q.sweep = true
 	case req.BPrime != nil:
-		bprimes = []float64{*req.BPrime}
+		q.bprimes = []float64{*req.BPrime}
 	default:
-		bprimes = []float64{0.3}
+		q.bprimes = []float64{0.3}
 	}
-	for _, bp := range bprimes {
+	for _, bp := range q.bprimes {
 		if bp <= 0 || bp > 1 {
 			writeErr(w, http.StatusBadRequest, "bprime must be in (0, 1] (got %g)", bp)
-			return nil, nil, false, false, false
+			return q, false
 		}
 	}
 	entry, found := s.resolveRelease(r.Context(), req.Release)
 	if !found {
 		writeErr(w, http.StatusNotFound, "unknown release %q", req.Release)
-		return nil, nil, false, false, false
+		return q, false
 	}
-	return entry, bprimes, sweep, explain, true
+	q.entry = entry
+	return q, true
 }
 
 // sweepResponses runs the amortized sweep and assembles per-bandwidth
 // responses in request order, counting the sweep's amortization into
 // the metrics ledger.
-func (s *Server) sweepResponses(ctx context.Context, entry *releaseEntry, bprimes []float64) ([]AttackResponse, error) {
+func (s *Server) sweepResponses(ctx context.Context, q attackQuery) ([]AttackResponse, error) {
 	s.metrics.SweepRequests.Add(1)
-	s.metrics.SweepPoints.Add(int64(len(bprimes)))
-	results, err := s.computeSweep(ctx, entry, bprimes)
+	s.metrics.SweepPoints.Add(int64(len(q.bprimes)))
+	results, err := s.computeSweep(ctx, q.entry, q.bprimes, q.inference, q.maxStates)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]AttackResponse, len(bprimes))
-	for i, bp := range bprimes {
+	out := make([]AttackResponse, len(q.bprimes))
+	for i, bp := range q.bprimes {
 		out[i] = *results[bp]
 	}
 	return out, nil
 }
 
+// writeAttackErr maps an attack/risk evaluation failure: an exact
+// inference refusing an oversized group is the request's own method
+// selection, a 422 recommending the adaptive method; everything else
+// stays a 500.
+func writeAttackErr(w http.ResponseWriter, what string, err error) {
+	if errors.Is(err, inference.ErrTooLarge) {
+		writeErr(w, http.StatusUnprocessableEntity,
+			"%s: %v (use \"inference\": \"adaptive\" to fall back to the Ω-estimate on oversized groups)", what, err)
+		return
+	}
+	writeErr(w, http.StatusInternalServerError, "%s: %v", what, err)
+}
+
 func (s *Server) handleAttack(w http.ResponseWriter, r *http.Request) {
-	entry, bprimes, sweep, explain, ok := s.getRelease(w, r)
+	q, ok := s.getRelease(w, r)
 	if !ok {
 		return
 	}
-	if sweep {
-		results, err := s.sweepResponses(r.Context(), entry, bprimes)
+	if q.sweep {
+		results, err := s.sweepResponses(r.Context(), q)
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "attacking: %v", err)
+			writeAttackErr(w, "attacking", err)
 			return
 		}
-		resp := AttackSweepResponse{Release: entry.id, Sweep: results}
-		if explain {
-			resp.Explain = s.attackExplain(r, entry, bprimes)
+		resp := AttackSweepResponse{Release: q.entry.id, Sweep: results}
+		if q.explain {
+			resp.Explain = s.attackExplain(r, q)
 		}
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	resp, err := s.computeAttack(r.Context(), entry, bprimes[0])
+	resp, err := s.computeAttack(r.Context(), q.entry, q.bprimes[0], q.inference, q.maxStates)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "attacking: %v", err)
+		writeAttackErr(w, "attacking", err)
 		return
 	}
-	if explain {
+	if q.explain {
 		// The singleflight result is shared with concurrent callers;
 		// the per-request explain block goes on a copy, never the
 		// shared value.
 		out := *resp
-		out.Explain = s.attackExplain(r, entry, bprimes)
+		out.Explain = s.attackExplain(r, q)
 		resp = &out
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // attackExplain builds the cost block for an attack/risk request: the
-// cold-path pricing at the request's grid width next to what this
-// request's trace actually spent.
-func (s *Server) attackExplain(r *http.Request, entry *releaseEntry, bprimes []float64) *ExplainBlock {
-	lanes := len(normalizeGrid(bprimes))
-	return s.explain(obs.SpanFromContext(r.Context()), attackShapes(entry, lanes))
+// cold-path pricing at the request's grid width — and its method's
+// inference stage — next to what this request's trace actually spent.
+func (s *Server) attackExplain(r *http.Request, q attackQuery) *ExplainBlock {
+	lanes := len(normalizeGrid(q.bprimes))
+	return s.explain(obs.SpanFromContext(r.Context()), attackShapes(q.entry, lanes, q.inference))
 }
 
 func (s *Server) handleRisk(w http.ResponseWriter, r *http.Request) {
-	entry, bprimes, sweep, explain, ok := s.getRelease(w, r)
+	q, ok := s.getRelease(w, r)
 	if !ok {
 		return
 	}
-	if sweep {
-		results, err := s.sweepResponses(r.Context(), entry, bprimes)
+	if q.sweep {
+		results, err := s.sweepResponses(r.Context(), q)
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "evaluating risk: %v", err)
+			writeAttackErr(w, "evaluating risk", err)
 			return
 		}
-		resp := RiskSweepResponse{Release: entry.id, Sweep: make([]RiskResponse, len(results))}
+		resp := RiskSweepResponse{Release: q.entry.id, Sweep: make([]RiskResponse, len(results))}
 		for i, ar := range results {
-			resp.Sweep[i] = RiskResponse{Release: ar.Release, BPrime: ar.BPrime, WorstRisk: ar.WorstRisk}
+			resp.Sweep[i] = RiskResponse{Release: ar.Release, BPrime: ar.BPrime, WorstRisk: ar.WorstRisk, Inference: ar.Inference}
 		}
-		if explain {
-			resp.Explain = s.attackExplain(r, entry, bprimes)
+		if q.explain {
+			resp.Explain = s.attackExplain(r, q)
 		}
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	resp, err := s.computeAttack(r.Context(), entry, bprimes[0])
+	resp, err := s.computeAttack(r.Context(), q.entry, q.bprimes[0], q.inference, q.maxStates)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "evaluating risk: %v", err)
+		writeAttackErr(w, "evaluating risk", err)
 		return
 	}
-	out := RiskResponse{Release: resp.Release, BPrime: resp.BPrime, WorstRisk: resp.WorstRisk}
-	if explain {
-		out.Explain = s.attackExplain(r, entry, bprimes)
+	out := RiskResponse{Release: resp.Release, BPrime: resp.BPrime, WorstRisk: resp.WorstRisk, Inference: resp.Inference}
+	if q.explain {
+		out.Explain = s.attackExplain(r, q)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
